@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Every table/figure experiment is wrapped as a pytest-benchmark target.
+Each bench regenerates the experiment and attaches the rendered table to
+the benchmark's ``extra_info`` so ``--benchmark-json`` output carries the
+reproduced data alongside timings.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark an experiment function and print its rendered table."""
+
+    def runner(fn, rounds: int = 1, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(**kwargs), rounds=rounds, iterations=1
+        )
+        benchmark.extra_info["experiment_id"] = result.experiment_id
+        benchmark.extra_info["rows"] = len(result.rows)
+        print()
+        print(result.render())
+        return result
+
+    return runner

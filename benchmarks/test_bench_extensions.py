@@ -1,0 +1,87 @@
+"""Benchmarks for the extension experiments (beyond the paper's figures)."""
+
+from repro.experiments.extensions import (
+    run_ext_llc,
+    run_ext_multiset,
+    run_ext_randomized_index,
+    run_ext_side_channel,
+)
+
+
+def test_bench_ext_llc(run_experiment):
+    """Cross-core LLC channel per LLC policy."""
+    result = run_experiment(run_ext_llc)
+    by_policy = {row[0]: row for row in result.rows}
+    assert by_policy["lru"][1] == 1.0
+    assert by_policy["tree-plru"][1] > 0.85
+    # Non-LRU policies: the channel decodes at ~chance level.
+    assert by_policy["srrip"][1] < 0.8
+    assert by_policy["random"][1] < 0.8
+
+
+def test_bench_ext_side_channel(run_experiment):
+    """Key recovery through the LRU side channel."""
+    result = run_experiment(run_ext_side_channel)
+    assert all(row[0] == row[1] for row in result.rows)
+
+
+def test_bench_ext_randomized_index(run_experiment):
+    """CEASER-style index randomization closes Algorithm 2."""
+    result = run_experiment(run_ext_randomized_index)
+    baseline, randomized = result.rows
+    assert baseline[2] == "yes"
+    assert randomized[2] == "no"
+
+
+def test_bench_ext_multiset(run_experiment):
+    """Throughput scales with parallel lanes at full accuracy."""
+    result = run_experiment(run_ext_multiset)
+    rounds = {row[0]: row[1] for row in result.rows}
+    assert rounds[1] == 8 * rounds[8] == 32 * rounds[32]
+    assert all(row[2] == 1.0 for row in result.rows)
+
+
+def test_bench_ext_verify_table1(run_experiment):
+    """Exhaustive state-space bounds behind Table I's plateaus."""
+    from repro.experiments.extensions2 import run_ext_verify_table1
+
+    result = run_experiment(run_ext_verify_table1)
+    bounds = {row[0].split(" ")[0]: row[2] for row in result.rows}
+    assert bounds == {"lru": 1, "tree-plru": 3, "bit-plru": 8}
+
+
+def test_bench_ext_detector(run_experiment):
+    """Perf-counter detector misses the LRU sender."""
+    from repro.experiments.extensions2 import run_ext_detector
+
+    result = run_experiment(run_ext_detector)
+    verdicts = {row[0]: row[3] for row in result.rows}
+    assert verdicts["LRU Alg.1 sender"] == "no"
+    assert verdicts["F+R (mem) sender"] == "YES"
+
+
+def test_bench_ext_coding(run_experiment):
+    """Hamming(7,4)+interleaving cleans up the channel."""
+    from repro.experiments.extensions2 import run_ext_coding
+
+    result = run_experiment(run_ext_coding)
+    assert all(row[2] <= row[1] + 0.01 for row in result.rows)
+
+
+def test_bench_ext_alg2_timesliced(run_experiment):
+    """The paper's negative result: Alg 2 has no time-sliced signal."""
+    from repro.experiments.extensions3 import run_ext_alg2_timesliced
+
+    result = run_experiment(run_ext_alg2_timesliced)
+    contrasts = {row[0]: float(row[3].rstrip("%")) for row in result.rows}
+    assert contrasts["Alg 2"] < 10
+
+
+def test_bench_ext_capacity(run_experiment):
+    """Capacity view of the channel and its defenses."""
+    from repro.experiments.extensions3 import run_ext_capacity
+
+    result = run_experiment(run_ext_capacity)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["Alg 1, d=8"][4] > 100  # hundreds of Kbps
+    assert rows["Alg 1 vs random-replacement L1"][4] < 5

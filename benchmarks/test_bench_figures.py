@@ -1,0 +1,77 @@
+"""Benchmarks regenerating the paper's figures (3-9, 11, 13-15)."""
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5, run_fig14
+from repro.experiments.fig6 import run_fig6, run_fig8, run_fig15
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig13 import run_fig13
+
+
+def test_bench_fig3(run_experiment):
+    """Fig 3: pointer-chase hit/miss histograms separate cleanly."""
+    result = run_experiment(run_fig3, samples=2000)
+    for row in result.rows:
+        assert row[3] > 0  # miss mode above hit mode on both vendors
+
+
+def test_bench_fig4(run_experiment):
+    """Fig 4: error rate vs transmission rate grid."""
+    result = run_experiment(run_fig4)
+    alg1 = [r for r in result.rows if r[0] == "Alg 1"]
+    assert alg1, "Alg 1 rows missing"
+
+
+def test_bench_fig5(run_experiment):
+    """Fig 5: E5-2690 alternating-bit receiver traces."""
+    result = run_experiment(run_fig5)
+    assert all(row[3] > 1.0 for row in result.rows)  # visible contrast
+
+
+def test_bench_fig6(run_experiment):
+    """Fig 6: time-sliced %1s on the E5-2690."""
+    run_experiment(run_fig6)
+
+
+def test_bench_fig7(run_experiment):
+    """Fig 7: AMD traces recovered via moving average."""
+    result = run_experiment(run_fig7)
+    assert all(row[4] > 4.0 for row in result.rows)  # wave amplitude
+
+
+def test_bench_fig8(run_experiment):
+    """Fig 8: time-sliced %1s on the AMD EPYC 7571."""
+    run_experiment(run_fig8)
+
+
+def test_bench_fig9(run_experiment):
+    """Fig 9: replacement-policy defense cost."""
+    result = run_experiment(run_fig9)
+    geomean = result.rows[-1]
+    assert float(geomean[4]) < 1.02 and float(geomean[5]) < 1.02
+
+
+def test_bench_fig11(run_experiment):
+    """Fig 11: PL cache leak and its fix."""
+    result = run_experiment(run_fig11)
+    assert result.rows[0][1] == 1.0  # original leaks perfectly
+    assert result.rows[1][2] is True  # hardened: all hits
+
+
+def test_bench_fig13(run_experiment):
+    """Fig 13: rdtscp cannot separate L1 hits from L2 hits."""
+    result = run_experiment(run_fig13, samples=2000)
+    for row in result.rows:
+        assert row[3] > 0.8  # overlap ~ 1.0
+
+
+def test_bench_fig14(run_experiment):
+    """Fig 14: E3-1245 v5 alternating-bit traces (Appendix B)."""
+    run_experiment(run_fig14)
+
+
+def test_bench_fig15(run_experiment):
+    """Fig 15: E3-1245 v5 time-sliced %1s (Appendix B)."""
+    run_experiment(run_fig15)

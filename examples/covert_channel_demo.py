@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Full covert-channel tour: both algorithms, both sharing modes, AMD.
+
+Walks through the paper's Sections V and VI:
+
+1. Algorithm 1 (shared memory) and Algorithm 2 (no shared memory) under
+   hyper-threaded sharing on the Intel Xeon E5-2690, with error rates
+   scored by Wagner-Fischer edit distance;
+2. time-sliced sharing, where the receiver distinguishes bits by the
+   fraction of 1s across samples;
+3. the AMD EPYC 7571, where the coarse timestamp counter forces
+   moving-average decoding and an order-of-magnitude lower rate.
+
+Run:  python examples/covert_channel_demo.py
+"""
+
+from repro.channels import (
+    CovertChannelProtocol,
+    NoSharedMemoryLRUChannel,
+    ProtocolConfig,
+    SharedMemoryLRUChannel,
+    evaluate_hyper_threaded,
+    moving_average_decode,
+    percent_ones,
+    random_message,
+)
+from repro.common.editdist import channel_error_rate
+from repro.sim import AMD_EPYC_7571, INTEL_E5_2690, Machine
+
+
+def intel_hyper_threaded() -> None:
+    print("== Intel E5-2690, hyper-threaded sharing (Section V-A) ==")
+    message = random_message(128, rng=7)
+    for builder, d, label in (
+        (SharedMemoryLRUChannel, 8, "Algorithm 1 (shared memory)"),
+        (NoSharedMemoryLRUChannel, 5, "Algorithm 2 (no shared mem)"),
+    ):
+        machine = Machine(INTEL_E5_2690, rng=42)
+        channel = builder.build(machine.spec.hierarchy.l1, 1, d=d)
+        evaluation = evaluate_hyper_threaded(
+            machine, channel,
+            ProtocolConfig(ts=6000, tr=600, noise_events_per_mcycle=50),
+            message, repeats=2,
+        )
+        print(
+            f"  {label}: {evaluation.transmission_rate_kbps:6.0f} Kbps, "
+            f"edit-distance error {evaluation.error_rate:6.2%}"
+        )
+    print()
+
+
+def intel_time_sliced() -> None:
+    print("== Intel E5-2690, time-sliced sharing (Section V-B) ==")
+    print("  (cycle counts scaled 1e-3 vs the paper; ratios preserved)")
+    for bit in (0, 1):
+        machine = Machine(INTEL_E5_2690, rng=3)
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=8
+        )
+        protocol = CovertChannelProtocol(
+            machine, channel, ProtocolConfig(ts=1e6, tr=1e5)
+        )
+        run = protocol.run_time_sliced(
+            bit, samples=60, quantum=4e4, noise_processes=1
+        )
+        print(f"  sender sends constant {bit}: receiver sees "
+              f"{percent_ones(run):5.1%} ones")
+    print("  -> bits are distinguished by the fraction of 1s; rate ~bps.\n")
+
+
+def amd_hyper_threaded() -> None:
+    print("== AMD EPYC 7571, hyper-threaded (Section VI) ==")
+    machine = Machine(AMD_EPYC_7571, rng=17)
+    channel = SharedMemoryLRUChannel.build(machine.spec.hierarchy.l1, 1, d=8)
+    # Same-address-space threads (pthreads): the AMD way predictor
+    # defeats cross-process shared-memory probing.
+    protocol = CovertChannelProtocol(
+        machine, channel,
+        ProtocolConfig(ts=1e5, tr=1e3, sender_space=0),
+    )
+    message = [i % 2 for i in range(10)]
+    run = protocol.run_hyper_threaded(message)
+    latencies = run.latencies()
+    decoded = moving_average_decode(
+        latencies, samples_per_bit_hint=100, hit_means_one=True
+    )
+    error = channel_error_rate(message, decoded[: len(message)])
+    rate_kbps = AMD_EPYC_7571.bits_per_second(
+        len(message), run.total_cycles
+    ) / 1000.0
+    print(
+        f"  Algorithm 1 via pthreads: {rate_kbps:5.1f} Kbps effective, "
+        f"moving-average decode error {error:5.1%}"
+    )
+    print(
+        "  -> coarse TSC readout forces averaging: an order of magnitude\n"
+        "     slower than Intel, matching the paper's ~20 Kbps."
+    )
+
+
+def main() -> None:
+    intel_hyper_threaded()
+    intel_time_sliced()
+    amd_hyper_threaded()
+
+
+if __name__ == "__main__":
+    main()

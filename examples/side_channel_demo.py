@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""LRU *side* channel: stealing a key from a benign victim.
+
+The paper's covert-channel evaluation uses a cooperating sender; its
+threat model (Section III) also covers the side-channel case, where
+"the sender is benign, but the process happens to modify the LRU states
+based on some secret information".  This example plays that scenario
+out against the canonical victim of the cache-attack literature — a
+cipher whose first-round table lookup indexes with plaintext XOR key —
+and then shows the cross-core LLC variant of the channel.
+
+Run:  python examples/side_channel_demo.py
+"""
+
+import random
+
+from repro.attacks import LRUSideChannelAttack, TableLookupVictim
+from repro.cache import CacheConfig, CacheHierarchy, MultiCoreConfig, MultiCoreSystem
+from repro.channels import LLCChannel
+from repro.sim import INTEL_E5_2690
+
+
+def key_recovery_section() -> None:
+    print("== Recovering a 6-bit key chunk from table lookups ==")
+    secret_key = 0b101101  # 45
+    hierarchy = CacheHierarchy(INTEL_E5_2690.hierarchy, rng=4)
+    victim = TableLookupVictim(hierarchy, key=secret_key)
+    attack = LRUSideChannelAttack(hierarchy, target_set=5, rng=11)
+    result = attack.recover_key(victim, encryptions=256)
+    print(f"  victim's secret key chunk : {secret_key:#08b}")
+    print(f"  attacker recovered        : {result.recovered_key:#08b}")
+    print(
+        f"  vote confidence {result.confidence():.0%} over "
+        f"{result.observations} observed encryptions"
+    )
+    # The stealth angle: the victim's lookups are hits except where the
+    # attacker applies pressure.
+    victim_miss_rate = hierarchy.l1.counters.miss_rate(1)
+    print(f"  victim L1D miss rate while being attacked: {victim_miss_rate:.2%}\n")
+
+
+def llc_channel_section() -> None:
+    print("== Cross-core variant: the channel moves to the shared LLC ==")
+    message_rng = random.Random(3)
+    message = [message_rng.randrange(2) for _ in range(32)]
+    for policy in ("lru", "tree-plru", "srrip", "random"):
+        llc = CacheConfig(
+            name="LLC", size=2 * 1024 * 1024, ways=16, line_size=64,
+            policy=policy, hit_latency=40.0,
+        )
+        system = MultiCoreSystem(MultiCoreConfig(llc=llc), rng=5)
+        channel = LLCChannel(system, target_set=3, rng=7)
+        run = channel.transfer(message)
+        note = "" if run.accuracy() > 0.85 else "  (~chance: policy-swap defense)"
+        print(
+            f"  LLC policy {policy:10s}: accuracy {run.accuracy():5.1%}, "
+            f"sender private misses {run.sender_private_misses}{note}"
+        )
+    print(
+        "\n  Takeaways: (1) sender and receiver no longer share a core —\n"
+        "  only a socket; (2) the sender now pays L1/L2 misses per encode\n"
+        "  (the L1 channel's stealth advantage, Section III); (3) the\n"
+        "  paper's policy-swap defense works one level down too: SRRIP\n"
+        "  or random replacement in the LLC drops the channel to chance."
+    )
+
+
+def main() -> None:
+    key_recovery_section()
+    llc_channel_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Spectre v1 with an LRU-state disclosure channel (paper Section VIII).
+
+Demonstrates the paper's transient-execution scenario end to end:
+
+1. a victim runs the classic bounds-check gadget over a secret array;
+2. the attacker trains the branch predictor, triggers out-of-bounds
+   transient execution, and reads the secret out of the **LRU states**
+   of the L1 cache sets — never requiring the victim to miss;
+3. the same attack is repeated with the classic Flush+Reload disclosure
+   and with a tight speculation window, reproducing the paper's claim
+   that the LRU channel needs a far smaller window.
+
+Run:  python examples/spectre_demo.py
+"""
+
+from repro.attacks import SpectreConfig, SpectreV1
+from repro.sim import INTEL_E5_2690, Machine
+
+# Secret values in [2, 64): one L1 set per value (set 0 hosts the
+# pointer-chase chain; value 1 is the training value).
+SECRET_MESSAGE = "LRU"
+SECRET = [ord(c) % 62 + 2 for c in SECRET_MESSAGE]
+
+
+def run_attack(disclosure: str, window: float) -> None:
+    machine = Machine(INTEL_E5_2690, rng=7)
+    attack = SpectreV1(
+        machine,
+        SECRET,
+        disclosure=disclosure,
+        config=SpectreConfig(rounds=4, speculation_window=window),
+        rng=13,
+    )
+    result = attack.recover()
+    ok = result.recovered == SECRET
+    print(
+        f"  {disclosure:16s} window={window:4.0f}: "
+        f"recovered {result.recovered} "
+        f"{'== secret OK' if ok else f'!= secret {SECRET}'}"
+    )
+    l1 = machine.l1.counters.miss_rate(None)
+    l2 = machine.l2.counters.miss_rate(None)
+    print(f"  {'':16s} attack miss rates: L1D {l1:.2%}, L2 {l2:.2%}")
+
+
+def main() -> None:
+    print(f"secret values: {SECRET}  (from {SECRET_MESSAGE!r})")
+
+    print("\nWide speculation window (~400 cycles): everything works")
+    for disclosure in ("flush_reload", "lru_alg1", "lru_alg2"):
+        run_attack(disclosure, window=400)
+
+    print(
+        "\nTight speculation window (40 cycles): only the hit-encoding\n"
+        "LRU channel still completes inside the transient window"
+    )
+    run_attack("flush_reload", window=40)
+    run_attack("lru_alg1", window=40)
+
+    print(
+        "\nWhy: the F+R disclosure access must miss to memory (~200\n"
+        "cycles) inside the window, while the LRU disclosure access is\n"
+        "an L1 hit (~4 cycles) whose replacement-state side effect is\n"
+        "what the attacker reads (paper Table V)."
+    )
+
+
+if __name__ == "__main__":
+    main()

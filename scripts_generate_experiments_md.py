@@ -1,0 +1,84 @@
+"""Regenerate EXPERIMENTS.md by running every registered experiment."""
+import time
+from repro.experiments import EXPERIMENT_REGISTRY
+
+ORDER = ["table1","table2","table4","table5","table6","table7",
+         "fig3","fig4","fig5","fig6","fig7","fig8","fig9","fig11",
+         "fig13","fig14","fig15",
+         "ext_llc","ext_side_channel","ext_randomized_index",
+         "ext_multiset","ext_verify_table1","ext_detector",
+         "ext_coding","ext_alg2_timesliced","ext_capacity"]
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure in the paper's evaluation, regenerated on the
+simulator substrate (see DESIGN.md for the substitution rationale).
+This file is produced by `python scripts_generate_experiments_md.py`;
+the same experiments run under `pytest benchmarks/ --benchmark-only`.
+
+Reading guide: each block shows our measured values; `paper:` lines
+state what the paper reports for the same quantity.  We reproduce the
+*shape* of every result (who wins, by what rough factor, where the
+crossovers fall); absolute cycle counts and rates differ because the
+substrate is a simulator, not the authors' testbed.
+
+## Headline comparisons
+
+| Claim | Paper | This reproduction |
+|---|---|---|
+| Table I, Tree-PLRU Seq 1 random init (1/2/3 iter) | 50.4% / 82.8% / 99.2% | ~49% / ~81% / ~99% |
+| Table I, Bit-PLRU plateau (>=8 iters) | 100% (Seq 1) / ~99% (Seq 2) | 100% / ~99% |
+| Intel hyper-threaded rate (Ts=6000) | ~480-580 Kbps | ~460-480 Kbps |
+| AMD hyper-threaded rate | ~20-25 Kbps | ~19 Kbps |
+| Intel time-sliced rate | ~2.4 bps | ~3.8 bps |
+| AMD time-sliced rate | ~0.2 bps | ~0.25 bps |
+| Time-sliced %1s (send 1 vs 0, d=8) | ~30% vs <5% | ~25% vs ~3% |
+| Encode latency ordering | LRU < F+R(L1) << F+R(mem) | 31 < 39 < 227 cycles (E5) |
+| Spectre: all 4 disclosure channels recover secret | yes | 100% recovery each |
+| Spectre window ablation | LRU needs much smaller window | LRU works at 30 cyc; F+R needs ~250 |
+| Fig 9 CPI overhead of FIFO/Random | < 2% | < 0.5% (geomean ~0.1%) |
+| Fig 11 PL cache | original leaks; fix -> constant hits | 100% leak; fix -> all hits |
+| Fig 13 rdtscp L1-vs-L2 overlap | complete overlap | ~0.97-0.98 overlap |
+
+## Known deviations
+
+* **Time-sliced cycle scale.** Quantum and Tr are scaled by 1e-3
+  relative to the paper (ratio preserved); reported rates are converted
+  back to paper scale. Simulating 5e8-cycle receiver periods per sample
+  in Python is impractical.
+* **Two-level hierarchy.** The paper's LLC column appears as our L2:
+  the F+R(mem)-vs-LRU contrast is preserved one level up.
+* **Secrets are 6-bit** in the Spectre demo (one probe line per L1
+  set, set 0 reserved for the chase chain, value 1 for training), vs
+  the paper's 63-set byte encoding.
+* **Algorithm 2 d-parity.** Our Tree-PLRU simulation shows the even-d
+  pathology the paper describes for Fig 4's E5-2690 curves; the clean
+  d=4 trace of the paper's Fig 5 needed d=5 here (hardware PLRU details
+  differ from textbook Tree-PLRU).
+* **Error floors.** The simulator has no OS interrupts; Fig 4's error
+  floor is modeled by a configurable noise-event rate (100 events per
+  Mcycle) chosen to land in the paper's 0-15% error band.
+
+## Extensions beyond the paper
+
+The `ext_*` blocks below are extensions: the cross-core LLC channel,
+the side-channel key recovery, the randomized-indexing defense, the
+multi-set parallel channel, the exhaustive Table-I verification, the
+detector evaluation, coded transmission, the Algorithm-2 time-sliced
+negative result, and the capacity analysis.  See DESIGN.md section 3b.
+
+## Full experiment outputs
+
+"""
+
+parts = [HEADER]
+for eid in ORDER:
+    start = time.time()
+    result = EXPERIMENT_REGISTRY[eid]()
+    elapsed = time.time() - start
+    parts.append(f"### {eid}\n\n```\n{result.render()}\n```\n")
+    parts.append(f"_regenerated in {elapsed:.1f}s_\n")
+    print(f"{eid} done in {elapsed:.1f}s")
+
+open("EXPERIMENTS.md", "w").write("\n".join(parts))
+print("EXPERIMENTS.md written")

@@ -1,0 +1,7 @@
+"""Reproduction of "Leaking Information Through Cache LRU States" (HPCA 2020).
+
+A simulator-backed implementation of the paper's LRU timing channels,
+baselines, Spectre demonstration, and defenses.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,98 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show every registered experiment (paper table/figure).
+* ``run <id> [<id> ...]`` — regenerate experiments and print their
+  tables; ``run all`` runs everything.
+* ``demo`` — the quickstart byte transfer, for a 10-second sanity check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_list() -> int:
+    from repro.experiments import EXPERIMENT_REGISTRY
+
+    print("registered experiments (paper tables and figures):")
+    for experiment_id in sorted(EXPERIMENT_REGISTRY):
+        fn = EXPERIMENT_REGISTRY[experiment_id]
+        doc = (fn.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {experiment_id:8s} {summary}")
+    return 0
+
+
+def _cmd_run(ids: list) -> int:
+    from repro.experiments import EXPERIMENT_REGISTRY
+
+    chosen = sorted(EXPERIMENT_REGISTRY) if ids == ["all"] else ids
+    unknown = [i for i in chosen if i not in EXPERIMENT_REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use `python -m repro list` to see options", file=sys.stderr)
+        return 2
+    for experiment_id in chosen:
+        start = time.time()
+        result = EXPERIMENT_REGISTRY[experiment_id]()
+        elapsed = time.time() - start
+        print()
+        print(result.render())
+        print(f"({elapsed:.1f}s)")
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro.channels import (
+        CovertChannelProtocol,
+        ProtocolConfig,
+        SharedMemoryLRUChannel,
+        runlength_decode,
+        sample_bits,
+    )
+    from repro.sim import INTEL_E5_2690, Machine
+
+    machine = Machine(INTEL_E5_2690, rng=2024)
+    channel = SharedMemoryLRUChannel.build(
+        machine.spec.hierarchy.l1, target_set=1, d=8
+    )
+    protocol = CovertChannelProtocol(
+        machine, channel, ProtocolConfig(ts=6000, tr=600)
+    )
+    message = [1, 0, 1, 1, 0, 0, 1, 0]
+    run = protocol.run_hyper_threaded(message)
+    decoded = runlength_decode(sample_bits(run), 10)[: len(message)]
+    print(f"sent    {''.join(map(str, message))}")
+    print(f"decoded {''.join(map(str, decoded))}")
+    print("channel works" if decoded == message else "decode mismatch")
+    return 0 if decoded == message else 1
+
+
+def main(argv: list = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'Leaking Information Through Cache LRU "
+            "States' (HPCA 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    run_parser = sub.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    sub.add_parser("demo", help="10-second covert-channel sanity check")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.ids)
+    return _cmd_demo()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Baseline cache attacks and the Spectre v1 demonstration.
+
+* :class:`FlushReloadChannel` — F+R(mem) and F+R(L1) (Tables V/VI).
+* :class:`PrimeProbeChannel` — contention baseline (Section VII).
+* :class:`EvictTimeAttack` — completeness baseline (Section X).
+* :class:`SpectreV1` — transient-execution attack with pluggable
+  disclosure channels, including the paper's LRU channels (Section VIII,
+  Table VII).
+"""
+
+from repro.attacks.branch_predictor import TwoBitPredictor
+from repro.attacks.evict_time import EvictTimeAttack
+from repro.attacks.flush_reload import EncodeCost, FlushReloadChannel
+from repro.attacks.prime_probe import PrimeProbeChannel
+from repro.attacks.side_channel import (
+    LRUSideChannelAttack,
+    SideChannelResult,
+    TableLookupVictim,
+)
+from repro.attacks.spectre import (
+    ATTACKER_THREAD,
+    CHAIN_SET,
+    SpectreConfig,
+    SpectreResult,
+    SpectreV1,
+    VICTIM_THREAD,
+)
+
+__all__ = [
+    "ATTACKER_THREAD",
+    "CHAIN_SET",
+    "EncodeCost",
+    "EvictTimeAttack",
+    "FlushReloadChannel",
+    "LRUSideChannelAttack",
+    "PrimeProbeChannel",
+    "SpectreConfig",
+    "SpectreResult",
+    "SideChannelResult",
+    "SpectreV1",
+    "TableLookupVictim",
+    "TwoBitPredictor",
+    "VICTIM_THREAD",
+]

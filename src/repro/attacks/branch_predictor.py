@@ -1,0 +1,40 @@
+"""A minimal conditional-branch predictor for the Spectre model.
+
+Spectre v1 relies on training a conditional branch (the victim's bounds
+check) so that a later out-of-bounds call is *predicted* in-bounds and
+executes transiently.  A two-bit saturating counter per branch — the
+textbook bimodal predictor — captures exactly the train/mispredict
+dynamic the attack needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class TwoBitPredictor:
+    """Per-branch two-bit saturating counters.
+
+    Counter values: 0 strongly-not-taken, 1 weakly-not-taken,
+    2 weakly-taken, 3 strongly-taken.  "Taken" here means the bounds
+    check passes (the in-bounds path).
+    """
+
+    def __init__(self, initial: int = 1):
+        if not 0 <= initial <= 3:
+            raise ValueError(f"initial counter must be in [0,3], got {initial}")
+        self._initial = initial
+        self._counters: Dict[int, int] = {}
+
+    def predict(self, branch_id: int) -> bool:
+        """True when the branch is predicted taken (in-bounds)."""
+        return self._counters.get(branch_id, self._initial) >= 2
+
+    def update(self, branch_id: int, taken: bool) -> None:
+        """Train the counter with the branch's actual outcome."""
+        counter = self._counters.get(branch_id, self._initial)
+        counter = min(3, counter + 1) if taken else max(0, counter - 1)
+        self._counters[branch_id] = counter
+
+    def reset(self) -> None:
+        self._counters.clear()

@@ -1,0 +1,69 @@
+"""Evict+Time baseline (Osvik, Shamir & Tromer; paper reference [2]).
+
+The attacker times the *victim's own* operation, once with the cache
+undisturbed and once after evicting a chosen set.  A slowdown reveals
+that the victim used the evicted set.  Included for completeness of the
+related-work comparison (Section X): like Prime+Probe it is
+contention-based and needs no shared memory, but it measures the victim
+end-to-end rather than a single attacker access.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.channels.addresses import lines_for_set
+
+#: A victim computation: takes the hierarchy, returns its total cycles.
+VictimFn = Callable[[CacheHierarchy], float]
+
+
+class EvictTimeAttack:
+    """Evict one set, re-time the victim, and compare.
+
+    Args:
+        hierarchy: Shared memory system.
+        attacker_space: Address space of the attacker's eviction lines.
+    """
+
+    def __init__(self, hierarchy: CacheHierarchy, attacker_space: int = 1):
+        self.hierarchy = hierarchy
+        self.attacker_space = attacker_space
+
+    def evict_set(self, target_set: int) -> None:
+        """Fill ``target_set`` with attacker lines, evicting the victim's."""
+        l1 = self.hierarchy.config.l1
+        lines: List[int] = lines_for_set(
+            l1, target_set, l1.ways, tag_base=5 << 13
+        )
+        for address in lines:
+            self.hierarchy.load(
+                address, thread_id=1, address_space=self.attacker_space
+            )
+
+    def time_victim(self, victim: VictimFn) -> float:
+        """Run the victim computation and return its total cycles."""
+        return victim(self.hierarchy)
+
+    def probe_set(
+        self, victim: VictimFn, target_set: int, trials: int = 3
+    ) -> float:
+        """Average victim slowdown caused by evicting ``target_set``.
+
+        Returns the mean difference (evicted time − baseline time); a
+        positive value means the victim uses the set.
+        """
+        deltas = []
+        for _ in range(trials):
+            baseline = self.time_victim(victim)
+            self.evict_set(target_set)
+            evicted = self.time_victim(victim)
+            deltas.append(evicted - baseline)
+        return sum(deltas) / len(deltas)
+
+    def scan_sets(
+        self, victim: VictimFn, sets: List[int], trials: int = 3
+    ) -> dict:
+        """Map set index -> mean slowdown, over a list of candidate sets."""
+        return {s: self.probe_set(victim, s, trials) for s in sets}

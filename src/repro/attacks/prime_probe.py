@@ -1,0 +1,91 @@
+"""Prime+Probe baseline (Osvik, Shamir & Tromer; paper reference [2]).
+
+The receiver primes a whole set with its own N lines, lets the sender
+run, then probes all N lines and times them: a slow probe means the
+sender displaced one, i.e. accessed the set.  No shared memory is
+needed, but the receiver must measure N accesses per set per sample —
+the paper contrasts this with its Algorithm 2, which times a *single*
+access (Section VII).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.channels.addresses import lines_for_set
+from repro.common.errors import ProtocolError
+
+
+class PrimeProbeChannel:
+    """Prime+Probe on one L1 set of a simulated hierarchy.
+
+    Args:
+        hierarchy: Shared memory system.
+        target_set: The monitored set.
+        sender_space / receiver_space: Address-space identities.
+    """
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        target_set: int,
+        sender_space: int = 1,
+        receiver_space: int = 0,
+    ):
+        self.hierarchy = hierarchy
+        l1 = hierarchy.config.l1
+        self.target_set = target_set
+        self.receiver_space = receiver_space
+        self.sender_space = sender_space
+        self.prime_lines: List[int] = lines_for_set(
+            l1, target_set, l1.ways, tag_base=1 << 13
+        )
+        self.sender_line: int = lines_for_set(l1, target_set, 1, tag_base=3 << 13)[0]
+
+    def prime(self) -> float:
+        """Fill the set with the receiver's lines; returns cycles spent."""
+        cycles = 0.0
+        for address in self.prime_lines:
+            outcome = self.hierarchy.load(
+                address, thread_id=0, address_space=self.receiver_space
+            )
+            cycles += outcome.latency
+        return cycles
+
+    def sender_encode(self, bit: int) -> float:
+        """Sender touches its own line in the set iff bit is 1.
+
+        Because the receiver just primed the set, the sender's access is
+        necessarily an L1 *miss* — again the contrast with the LRU
+        channel's hit-only encoding.
+        """
+        if bit not in (0, 1):
+            raise ProtocolError(f"bit must be 0 or 1, got {bit!r}")
+        if bit == 0:
+            return 4.0
+        outcome = self.hierarchy.load(
+            self.sender_line, thread_id=1, address_space=self.sender_space
+        )
+        return outcome.latency
+
+    def probe(self) -> bool:
+        """Re-access all primed lines; True (bit 1) if any missed L1.
+
+        Probing in reverse order is the classic trick to avoid the probe
+        itself evicting yet-unprobed lines under LRU.
+        """
+        any_miss = False
+        for address in reversed(self.prime_lines):
+            outcome = self.hierarchy.load(
+                address, thread_id=0, address_space=self.receiver_space
+            )
+            if not outcome.l1_hit:
+                any_miss = True
+        return any_miss
+
+    def transfer_bit(self, bit: int) -> bool:
+        """One full round: prime, encode, probe.  Returns decoded bit."""
+        self.prime()
+        self.sender_encode(bit)
+        return self.probe()

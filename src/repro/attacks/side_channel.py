@@ -1,0 +1,198 @@
+"""LRU *side* channel: recovering a key from a table-lookup victim.
+
+The paper distinguishes covert channels (cooperating sender) from side
+channels, where "the sender is benign, but the process happens to
+modify the LRU states based on some secret information" (Section III).
+This module demonstrates the side-channel case with the canonical
+victim of the cache-attack literature: a cipher whose first-round
+table lookup indexes a T-table with ``plaintext XOR key``
+(AES-style, references [2], [3], [16] of the paper).
+
+The victim's lookup touches the cache set holding table entry
+``(p ^ k) & 0x3F``.  With a warm table the victim's lookups are hits in
+all 63 unmonitored sets (invisible to miss-based channels); in the one
+monitored set the attacker's Algorithm-2 pressure means the victim's
+access may hit or miss — and the LRU channel reads it either way, the
+paper's core advantage.  An eviction of the attacker's line 0 after an
+encryption with known plaintext ``p`` reveals
+``(p ^ k) & 0x3F == target_set``, i.e. ``k = p ^ target_set`` up to
+6 bits; plurality voting over observations recovers the key chunk.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.channels.addresses import lines_for_set
+from repro.common.errors import ProtocolError
+from repro.common.rng import RngLike, make_rng, spawn_rng
+
+VICTIM_THREAD = 1
+ATTACKER_THREAD = 0
+
+#: The T-table spans 64 lines = 64 sets (one entry class per set).
+TABLE_ENTRIES = 64
+
+
+@dataclass
+class TableLookupVictim:
+    """A victim performing secret-indexed table lookups.
+
+    Attributes:
+        hierarchy: The shared memory system.
+        key: The secret 6-bit value the attacker wants.
+        table_base: Base address of the lookup table (line-aligned;
+            entry ``i`` occupies line ``i`` and therefore set ``i`` for
+            the paper's 64-set L1D).
+    """
+
+    hierarchy: CacheHierarchy
+    key: int
+    table_base: int = 1 << 23
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.key < TABLE_ENTRIES:
+            raise ProtocolError(f"key must be in [0, {TABLE_ENTRIES})")
+
+    def warm_table(self) -> None:
+        """Pre-load the whole table (the steady state of a busy server).
+
+        With a warm table every victim lookup is a cache *hit*:
+        miss-based channels see nothing, the LRU channel still works.
+        """
+        for entry in range(TABLE_ENTRIES):
+            self.hierarchy.load(
+                self.table_base + entry * 64,
+                thread_id=VICTIM_THREAD,
+                address_space=1,
+                count=False,
+            )
+
+    def encrypt(self, plaintext: int) -> None:
+        """One first-round lookup: touch table[(p ^ key) & 0x3F]."""
+        index = (plaintext ^ self.key) % TABLE_ENTRIES
+        self.hierarchy.load(
+            self.table_base + index * 64,
+            thread_id=VICTIM_THREAD,
+            address_space=1,
+        )
+
+
+@dataclass
+class SideChannelResult:
+    """Outcome of the key-recovery attack."""
+
+    recovered_key: Optional[int]
+    votes: Counter = field(default_factory=Counter)
+    observations: int = 0
+
+    def confidence(self) -> float:
+        """Top vote share; 1.0 means every observation agreed."""
+        if not self.votes:
+            return 0.0
+        return self.votes.most_common(1)[0][1] / sum(self.votes.values())
+
+
+class LRUSideChannelAttack:
+    """Recover the victim's key chunk via the LRU state of one set.
+
+    The attacker interleaves Algorithm 2's receiver sequence around
+    victim encryptions with *known* (attacker-chosen or observed)
+    plaintexts — the standard synchronous side-channel model.
+
+    Args:
+        hierarchy: Shared memory system (attacker co-resident with the
+            victim, as in the paper's threat model).
+        target_set: The set the attacker monitors.
+        d: Receiver split parameter.
+        rng: Plaintext generator seed.
+    """
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        target_set: int = 5,
+        d: int = 8,
+        rng: RngLike = None,
+    ):
+        l1 = hierarchy.config.l1
+        if l1.num_sets < TABLE_ENTRIES:
+            raise ProtocolError(
+                f"need >= {TABLE_ENTRIES} sets, have {l1.num_sets}"
+            )
+        self.hierarchy = hierarchy
+        self.target_set = target_set
+        self.d = min(d, l1.ways)
+        self.rng = make_rng(rng)
+        # The attacker's own lines in the target set (no shared memory
+        # with the victim: this is Algorithm 2's setting).
+        self.lines: List[int] = lines_for_set(
+            l1, target_set, l1.ways, tag_base=1 << 9, irregular=True
+        )
+
+    def _observe_one(self, victim: TableLookupVictim, plaintext: int) -> bool:
+        """One init/encrypt/decode round; True if any line was evicted.
+
+        The victim's fill lands on whichever way PLRU points at, so the
+        attacker probes *all* of its lines (a per-set sweep, as the
+        receiver in the PL-cache experiment does) rather than only
+        line 0.
+        """
+        for address in self.lines[: self.d]:
+            self.hierarchy.load(
+                address, thread_id=ATTACKER_THREAD, address_space=0
+            )
+        victim.encrypt(plaintext)
+        for address in self.lines[self.d :]:
+            self.hierarchy.load(
+                address, thread_id=ATTACKER_THREAD, address_space=0
+            )
+        evicted = False
+        for address in self.lines:
+            outcome = self.hierarchy.load(
+                address, thread_id=ATTACKER_THREAD, address_space=0
+            )
+            if not outcome.l1_hit:
+                evicted = True
+        return evicted
+
+    def recover_key(
+        self,
+        victim: TableLookupVictim,
+        encryptions: int = 256,
+        chosen_plaintext: bool = True,
+    ) -> SideChannelResult:
+        """Watch ``encryptions`` lookups and vote on the key chunk.
+
+        Every observed eviction under plaintext ``p`` votes for
+        ``k = p XOR target_set``; the plurality wins.
+
+        Args:
+            chosen_plaintext: Cycle deterministically through all 64
+                plaintexts (the classic chosen-plaintext model —
+                guarantees coverage).  False draws plaintexts uniformly
+                (known-plaintext model; coverage is probabilistic).
+        """
+        victim.warm_table()
+        # Attacker steady state: its lines resident in the target set.
+        for address in self.lines:
+            self.hierarchy.load(
+                address, thread_id=ATTACKER_THREAD, address_space=0,
+                count=False,
+            )
+        result = SideChannelResult(recovered_key=None)
+        for i in range(encryptions):
+            if chosen_plaintext:
+                plaintext = i % TABLE_ENTRIES
+            else:
+                plaintext = self.rng.randrange(TABLE_ENTRIES)
+            evicted = self._observe_one(victim, plaintext)
+            result.observations += 1
+            if evicted:
+                result.votes[plaintext ^ self.target_set] += 1
+        if result.votes:
+            result.recovered_key = result.votes.most_common(1)[0][0]
+        return result

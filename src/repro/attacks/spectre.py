@@ -1,0 +1,350 @@
+"""Spectre v1 with interchangeable disclosure channels (paper Section VIII).
+
+The victim is the classic bounds-check gadget::
+
+    if x < array1_size:
+        y = probe_array[array1[x] * LINE]
+
+The attacker trains the branch predictor with in-bounds calls, then
+supplies an out-of-bounds ``x`` that makes the transient load read a
+secret byte and touch a probe line indexed by it.  The *disclosure
+channel* — how the attacker observes which line was touched — is
+pluggable, exactly as in the paper:
+
+* ``"flush_reload"`` — the classic F+R receiver (flush all probe lines,
+  reload and time each).
+* ``"lru_alg1"`` / ``"lru_alg2"`` — the paper's contribution: the
+  attacker reads the *LRU state* of each set instead.  The victim's
+  transient access can be a cache **hit**; no victim miss is needed,
+  which shrinks the required speculation window (the paper's Table V
+  argument) and the victim's miss-rate footprint (Table VII).
+
+Modeling notes (see DESIGN.md):
+
+* Secrets are 6-bit values (0..63): one probe line per L1 set, with set
+  index encoding the value.  The paper uses 63 of the 64 sets and
+  reserves one for the pointer-chase chain; we do the same (set 0).
+* A transient access must *complete* within ``speculation_window``
+  cycles of the mispredicted branch to leave a microarchitectural
+  trace.  This realizes the paper's observation that the hit-based LRU
+  encode needs a much smaller window than F+R's memory-miss encode.
+* Appendix C's prefetcher-noise mitigation is implemented: each round
+  visits sets in a fresh random order and results are averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.attacks.branch_predictor import TwoBitPredictor
+from repro.channels.addresses import lines_for_set
+from repro.common.errors import ProtocolError
+from repro.common.rng import RngLike, make_rng
+from repro.common.types import CacheLevel, MemoryAccess
+from repro.sim.machine import Machine
+from repro.timing.measurement import PointerChase
+
+#: Set reserved for the receiver's pointer-chase chain (Section VIII).
+CHAIN_SET = 0
+
+#: The probe value the victim's *architectural* (training) path touches.
+#: The attacker knows array1's in-bounds contents and excludes this
+#: value when scoring candidates, as real Spectre PoCs do.
+TRAINING_VALUE = 1
+
+#: Threads: the victim is "the sender", the attacker "the receiver".
+VICTIM_THREAD = 1
+ATTACKER_THREAD = 0
+
+
+@dataclass
+class SpectreConfig:
+    """Attack parameters.
+
+    Attributes:
+        speculation_window: Cycles of transient execution available
+            after the mispredicted bounds check.  The default (400) is
+            roomy enough for every disclosure channel; the window
+            ablation shows F+R(mem) dying below ~210 cycles while the
+            LRU channels survive down to ~20 (Table V's argument).
+        train_calls: In-bounds victim calls per malicious call.
+        rounds: Attack repetitions averaged per secret byte
+            (Appendix C's noise strategy).
+        d: Receiver split parameter for the LRU disclosure channels.
+        lru_variant_d_default: kept for documentation; see ``d``.
+    """
+
+    speculation_window: float = 400.0
+    train_calls: int = 4
+    rounds: int = 5
+    d: int = 8
+
+
+@dataclass
+class SpectreResult:
+    """Recovered data plus per-candidate score diagnostics."""
+
+    recovered: List[int] = field(default_factory=list)
+    scores: List[Dict[int, float]] = field(default_factory=list)
+
+    def accuracy(self, secret: Sequence[int]) -> float:
+        """Fraction of secret values recovered exactly."""
+        if not secret:
+            return 0.0
+        hits = sum(1 for s, r in zip(secret, self.recovered) if s == r)
+        return hits / len(secret)
+
+
+class SpectreV1:
+    """The Spectre v1 victim/attacker pair on a simulated machine.
+
+    Args:
+        machine: Simulated platform (hierarchy + TSC).
+        secret: Secret values in [0, 63], one per "byte" to exfiltrate.
+        disclosure: ``"flush_reload"``, ``"flush_reload_l1"``,
+            ``"lru_alg1"``, or ``"lru_alg2"``.
+        config: Attack parameters.
+        rng: Randomness for round orderings.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        secret: Sequence[int],
+        disclosure: str = "lru_alg1",
+        config: SpectreConfig = SpectreConfig(),
+        rng: RngLike = None,
+    ):
+        known = ("flush_reload", "flush_reload_l1", "lru_alg1", "lru_alg2")
+        if disclosure not in known:
+            raise ProtocolError(f"disclosure must be one of {known}")
+        if any(not 0 <= s < 64 for s in secret):
+            raise ProtocolError("secret values must be in [0, 64)")
+        if any(s in (CHAIN_SET, TRAINING_VALUE) for s in secret):
+            raise ProtocolError(
+                f"secret values {CHAIN_SET} (chain set) and "
+                f"{TRAINING_VALUE} (training value) are not recoverable"
+            )
+        self.machine = machine
+        self.secret = list(secret)
+        self.disclosure = disclosure
+        self.config = config
+        self.rng = make_rng(rng)
+
+        l1 = machine.spec.hierarchy.l1
+        self.num_sets = l1.num_sets
+        self.line_size = l1.line_size
+        #: Candidate secret values = usable sets (all but the chain set).
+        self.candidate_sets = [s for s in range(self.num_sets) if s != CHAIN_SET]
+
+        # The shared probe array: one line per set, consecutive lines.
+        # Shared between victim and attacker for F+R and LRU-Alg1;
+        # private to the victim for LRU-Alg2.
+        self.probe_base = 1 << 22
+        # Victim's private array1 (bounds-checked array) and its size.
+        self.array1_base = 1 << 26
+        self.array1_size = 8
+        # Attacker's per-set receiver lines for the LRU channels.
+        # tag_base chosen so attacker lines never alias the probe array
+        # (tag 0x400), array1 (tag 0x4000), or the chase chain (0x40000).
+        # Irregular spacing keeps the attacker's own sweeps from
+        # training the stride prefetcher (Appendix C).
+        self._receiver_lines: Dict[int, List[int]] = {
+            s: lines_for_set(l1, s, l1.ways + 1, tag_base=96, irregular=True)
+            for s in self.candidate_sets
+        }
+        self._predictor = TwoBitPredictor()
+        self._chase = PointerChase(
+            machine.hierarchy,
+            machine.tsc,
+            chain_set=CHAIN_SET,
+            thread_id=ATTACKER_THREAD,
+            address_space=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Victim model
+    # ------------------------------------------------------------------
+
+    def _probe_address(self, value: int) -> int:
+        """Probe line for a secret value — one line per set."""
+        return self.probe_base + value * self.line_size
+
+    def victim_call(self, x: int) -> None:
+        """The bounds-check gadget, with transient execution modeled.
+
+        In-bounds calls execute architecturally and train the predictor.
+        Out-of-bounds calls execute transiently iff predicted in-bounds,
+        and their accesses must complete inside the speculation window.
+        """
+        in_bounds = x < self.array1_size
+        predicted = self._predictor.predict(branch_id=1)
+        self._predictor.update(branch_id=1, taken=in_bounds)
+
+        if in_bounds:
+            self.machine.hierarchy.load(
+                self.array1_base + x, thread_id=VICTIM_THREAD, address_space=1
+            )
+            # In-bounds array1 contents are public (the attacker can read
+            # them), so training pollution lands on a *known* probe value
+            # the attacker filters out of its scores.
+            self.machine.hierarchy.load(
+                self._probe_address(TRAINING_VALUE),
+                thread_id=VICTIM_THREAD,
+                address_space=1,
+            )
+            return
+
+        if not predicted:
+            return  # predicted out-of-bounds: no transient execution
+
+        # Transient path: read the secret, then touch its probe line.
+        window = self.config.speculation_window
+        secret_index = x - self.array1_size
+        if not 0 <= secret_index < len(self.secret):
+            return
+        secret_value = self.secret[secret_index]
+        secret_outcome = self.machine.hierarchy.access(
+            MemoryAccess(
+                address=self.array1_base + x,
+                thread_id=VICTIM_THREAD,
+                address_space=1,
+                speculative=True,
+            )
+        )
+        elapsed = secret_outcome.latency
+        if elapsed >= window:
+            return  # secret load did not resolve inside the window
+        probe_outcome = self.machine.hierarchy.access(
+            MemoryAccess(
+                address=self._probe_address(secret_value),
+                thread_id=VICTIM_THREAD,
+                address_space=1,
+                speculative=True,
+            )
+        )
+        elapsed += probe_outcome.latency
+        if elapsed >= window and probe_outcome.hit_level == CacheLevel.MEMORY:
+            # The fill did not complete before the squash: undo it by
+            # flushing the speculatively-installed line.  (Hit-path LRU
+            # updates happen early and survive — they are exactly what
+            # the LRU channel reads.)
+            self.machine.hierarchy.l1.flush(self._probe_address(secret_value))
+            self.machine.hierarchy.l2.flush(self._probe_address(secret_value))
+
+    def _train_and_strike(self, secret_index: int) -> None:
+        """Predictor training followed by the malicious call."""
+        for i in range(self.config.train_calls):
+            self.victim_call(i % self.array1_size)
+        self.victim_call(self.array1_size + secret_index)
+
+    # ------------------------------------------------------------------
+    # Disclosure channels (attacker side)
+    # ------------------------------------------------------------------
+
+    def _fr_round(self, secret_index: int, variant: str) -> Dict[int, float]:
+        """One Flush+Reload round; returns per-candidate scores."""
+        hierarchy = self.machine.hierarchy
+        order = list(self.candidate_sets)
+        self.rng.shuffle(order)
+        for value in order:
+            address = self._probe_address(value)
+            if variant == "mem":
+                hierarchy.flush_address(address, thread_id=ATTACKER_THREAD)
+            else:
+                # Evict from L1 only, via the receiver's conflict lines.
+                for line in self._receiver_lines[value][: hierarchy.config.l1.ways]:
+                    hierarchy.load(
+                        line, thread_id=ATTACKER_THREAD, address_space=0
+                    )
+        self._train_and_strike(secret_index)
+        scores: Dict[int, float] = {}
+        self.rng.shuffle(order)
+        for value in order:
+            outcome = hierarchy.load(
+                self._probe_address(value),
+                thread_id=ATTACKER_THREAD,
+                address_space=0,
+            )
+            if variant == "mem":
+                fast = outcome.hit_level != CacheLevel.MEMORY
+            else:
+                fast = outcome.l1_hit
+            scores[value] = 1.0 if fast else 0.0
+        return scores
+
+    def _lru_round(self, secret_index: int, variant: str) -> Dict[int, float]:
+        """One LRU-channel round over all candidate sets.
+
+        Per set: Algorithm 1/2 initialization, victim strike, decode +
+        timed probe.  Algorithm 1 shares the probe line with the victim
+        (its line 0 *is* the victim's probe line for that set);
+        Algorithm 2 uses only attacker-private lines.
+        """
+        hierarchy = self.machine.hierarchy
+        ways = hierarchy.config.l1.ways
+        d = min(self.config.d, ways)
+        order = list(self.candidate_sets)
+        self.rng.shuffle(order)
+
+        # Initialization phase, per set.
+        for value in order:
+            lines = self._round_lines(value, variant)
+            for address in lines[:d]:
+                hierarchy.load(address, thread_id=ATTACKER_THREAD, address_space=0)
+
+        self._train_and_strike(secret_index)
+
+        # Decode phase + timed probe, per set.
+        scores: Dict[int, float] = {}
+        self.rng.shuffle(order)
+        for value in order:
+            lines = self._round_lines(value, variant)
+            total = ways + 1 if variant == "alg1" else ways
+            for address in lines[d:total]:
+                hierarchy.load(address, thread_id=ATTACKER_THREAD, address_space=0)
+            self._chase.prime_chain()
+            latency = self._chase.measure(lines[0])
+            hit = latency <= self._chase.hit_miss_threshold()
+            # Alg1: victim's access kept line 0 alive -> hit means 1.
+            # Alg2: victim's access evicted line 0 -> miss means 1.
+            signal = hit if variant == "alg1" else not hit
+            scores[value] = 1.0 if signal else 0.0
+        return scores
+
+    def _round_lines(self, value: int, variant: str) -> List[int]:
+        """Receiver lines for one candidate set under an LRU variant."""
+        if variant == "alg1":
+            # Line 0 is the shared probe line; lines 1..N are private.
+            return [self._probe_address(value)] + self._receiver_lines[value][1:]
+        return self._receiver_lines[value]
+
+    # ------------------------------------------------------------------
+    # Full attack
+    # ------------------------------------------------------------------
+
+    def _round_scores(self, secret_index: int) -> Dict[int, float]:
+        if self.disclosure == "flush_reload":
+            return self._fr_round(secret_index, "mem")
+        if self.disclosure == "flush_reload_l1":
+            return self._fr_round(secret_index, "l1")
+        if self.disclosure == "lru_alg1":
+            return self._lru_round(secret_index, "alg1")
+        return self._lru_round(secret_index, "alg2")
+
+    def recover(self) -> SpectreResult:
+        """Run the attack over every secret index; average over rounds."""
+        result = SpectreResult()
+        for secret_index in range(len(self.secret)):
+            totals: Dict[int, float] = {
+                v: 0.0 for v in self.candidate_sets if v != TRAINING_VALUE
+            }
+            for _ in range(self.config.rounds):
+                for value, score in self._round_scores(secret_index).items():
+                    if value in totals:
+                        totals[value] += score
+            best = max(totals.items(), key=lambda kv: kv[1])[0]
+            result.recovered.append(best)
+            result.scores.append(totals)
+        return result

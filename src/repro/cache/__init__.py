@@ -1,0 +1,45 @@
+"""Cache substrate: set-associative model, hierarchy, and secure variants.
+
+Contents:
+
+* :class:`CacheConfig` / :class:`HierarchyConfig` — validated geometry.
+* :class:`SetAssociativeCache` — a single level with pluggable policies.
+* :class:`CacheHierarchy` — L1 + L2 + memory, producing per-access
+  latency outcomes (the timing signal everything else consumes).
+* :class:`PLCache` — Partition-Locked cache, original and hardened
+  (Figure 11 experiments).
+* :class:`RandomFillCache` — random-fill secure cache (Section IX-B).
+* :class:`WayPredictor` — AMD linear-address utag model (Section VI-B).
+* :class:`StridePrefetcher` — LRU-state pollution source (Appendix C).
+"""
+
+from repro.cache.cache import FillResult, LookupResult, SetAssociativeCache
+from repro.cache.cache_set import CacheSet
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import PREFETCH_THREAD, CacheHierarchy
+from repro.cache.line import CacheLine
+from repro.cache.multicore import MultiCoreConfig, MultiCoreSystem
+from repro.cache.pl_cache import PLCache
+from repro.cache.prefetcher import StridePrefetcher
+from repro.cache.random_fill import RandomFillCache
+from repro.cache.randomized_index import RandomizedIndexCache
+from repro.cache.way_predictor import WayPredictor
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheSet",
+    "FillResult",
+    "HierarchyConfig",
+    "LookupResult",
+    "MultiCoreConfig",
+    "MultiCoreSystem",
+    "PLCache",
+    "PREFETCH_THREAD",
+    "RandomFillCache",
+    "RandomizedIndexCache",
+    "SetAssociativeCache",
+    "StridePrefetcher",
+    "WayPredictor",
+]

@@ -1,0 +1,136 @@
+"""Cache geometry and latency configuration.
+
+All geometry is validated eagerly; the paper's experiments depend on the
+exact L1D geometry of the tested CPUs (32 KiB, 8-way, 64 sets, 64-byte
+lines — Table III), so a silent geometry error would invalidate every
+downstream result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+
+def _require_power_of_two(name: str, value: int) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ConfigurationError(f"{name} must be a positive power of two, got {value}")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and behaviour of a single cache level.
+
+    Attributes:
+        name: Label for reports ("L1D", "L2", ...).
+        size: Total capacity in bytes.
+        ways: Associativity.
+        line_size: Line size in bytes.
+        policy: Replacement-policy registry name (see
+            ``repro.replacement.POLICY_REGISTRY``).
+        hit_latency: Cycles for a hit served at this level.
+        update_lru_on_hit: When False, hits do not update replacement
+            state (models the InvisiSpec-style defense of deferring or
+            suppressing state updates).
+    """
+
+    name: str = "L1D"
+    size: int = 32 * 1024
+    ways: int = 8
+    line_size: int = 64
+    policy: str = "tree-plru"
+    hit_latency: float = 4.0
+    update_lru_on_hit: bool = True
+
+    def __post_init__(self) -> None:
+        _require_power_of_two("size", self.size)
+        _require_power_of_two("ways", self.ways)
+        _require_power_of_two("line_size", self.line_size)
+        if self.size % (self.ways * self.line_size):
+            raise ConfigurationError(
+                f"size {self.size} not divisible by ways*line_size "
+                f"({self.ways}*{self.line_size})"
+            )
+        if self.hit_latency <= 0:
+            raise ConfigurationError(f"hit_latency must be > 0, got {self.hit_latency}")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.ways * self.line_size)
+
+    @property
+    def offset_bits(self) -> int:
+        return int(math.log2(self.line_size))
+
+    @property
+    def index_bits(self) -> int:
+        return int(math.log2(self.num_sets))
+
+    def set_index(self, address: int) -> int:
+        """Cache set an address maps to."""
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag(self, address: int) -> int:
+        """Tag bits of an address."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def line_address(self, address: int) -> int:
+        """Address rounded down to its line boundary."""
+        return address & ~(self.line_size - 1)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """A two- or three-level hierarchy plus main memory.
+
+    The paper's channel experiments use L1D + L2; the LLC experiments
+    (footnote 1 / the Section X comparison with the concurrent LLC
+    replacement-state work) add a third level.
+
+    Attributes:
+        l1: L1 data cache configuration.
+        l2: L2 configuration.
+        llc: Optional last-level cache; None gives the paper's default
+            two-level setup.
+        llc_latency_check: (internal) latencies must strictly increase.
+        memory_latency: Cycles for a full miss to memory.
+        flush_latency: Cycles charged for a ``clflush`` (used by the
+            F+R(mem) baseline; dominates its encoding cost, Table V).
+        way_predictor: Enable the AMD linear-address utag model.
+    """
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="L1D", size=32 * 1024, ways=8, line_size=64, hit_latency=4.0
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="L2",
+            size=256 * 1024,
+            ways=8,
+            line_size=64,
+            policy="tree-plru",
+            hit_latency=12.0,
+        )
+    )
+    llc: "CacheConfig | None" = None
+    memory_latency: float = 200.0
+    flush_latency: float = 250.0
+    way_predictor: bool = False
+
+    def __post_init__(self) -> None:
+        if self.l1.line_size != self.l2.line_size:
+            raise ConfigurationError("L1 and L2 must share a line size")
+        latencies = [self.l1.hit_latency, self.l2.hit_latency]
+        if self.llc is not None:
+            if self.llc.line_size != self.l1.line_size:
+                raise ConfigurationError("LLC must share the line size")
+            latencies.append(self.llc.hit_latency)
+        latencies.append(self.memory_latency)
+        if any(a >= b for a, b in zip(latencies, latencies[1:])):
+            raise ConfigurationError(
+                "latencies must be strictly increasing down the hierarchy"
+            )

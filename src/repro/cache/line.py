@@ -1,0 +1,55 @@
+"""A single cache line's metadata.
+
+The simulator never stores data, only the metadata that determines timing
+and replacement behaviour: tag, validity, dirtiness, the PL-cache lock
+bit, and the AMD way-predictor utag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class CacheLine:
+    """Metadata for one way of one cache set.
+
+    Attributes:
+        tag: Tag of the resident line; meaningless when invalid.
+        valid: Whether the way holds a line.
+        dirty: Set by stores; carried for completeness (the simulator
+            does not model writeback traffic).
+        locked: PL-cache lock bit (Wang & Lee).  A locked line is never
+            evicted by replacement.
+        utag: AMD way-predictor micro-tag — a hash of the *linear*
+            address (and address space) that last touched the line.  None
+            when the way predictor is disabled.
+        owner_space: Address space that installed the current utag.
+        address: Full line-aligned byte address of the resident line,
+            kept so evictions can report what was displaced.
+    """
+
+    tag: int = 0
+    valid: bool = False
+    dirty: bool = False
+    locked: bool = False
+    utag: Optional[int] = None
+    owner_space: int = 0
+    address: int = 0
+
+    def invalidate(self) -> None:
+        """Remove the resident line, clearing all metadata but the lock.
+
+        Hardware keeps lock bits across invalidations in some designs; we
+        clear the lock too because an invalid locked way is meaningless
+        for the PL-cache experiments.
+        """
+        self.valid = False
+        self.dirty = False
+        self.locked = False
+        self.utag = None
+
+    def matches(self, tag: int) -> bool:
+        """Physical-tag match: the line is present and tags agree."""
+        return self.valid and self.tag == tag

@@ -1,0 +1,109 @@
+"""Partition-Locked (PL) cache — original and LRU-hardened designs.
+
+The PL cache (Wang & Lee, the paper's reference [24]) adds a lock bit per
+line: locked lines are never evicted; if replacement selects a locked
+victim, the incoming line is handled *uncached*.
+
+The paper's Section IX-B shows the original design still leaks through
+the LRU state (Figure 11 top): accesses to a locked line — which are
+always hits — still update the PLRU state, and a locked victim still has
+its replacement state refreshed.  The fix (the blue boxes in the paper's
+Figure 10) locks the LRU state as well:
+
+* a hit on a locked line does **not** update replacement state;
+* an uncached load (locked victim) does **not** update the victim's
+  replacement state.
+
+``PLCache(lock_lru=False)`` is the original design; ``lock_lru=True`` is
+the hardened one.  Figure 11 reproduces directly from these two modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.cache_set import CacheSet
+from repro.cache.config import CacheConfig
+from repro.common.rng import RngLike
+from repro.common.types import MemoryAccess
+
+
+class PLCache(SetAssociativeCache):
+    """PL cache with optional LRU-state locking.
+
+    Args:
+        config: Cache geometry (policy should be an LRU variant for the
+            attack experiments to be meaningful).
+        lock_lru: When True, apply the paper's defense: replacement state
+            is frozen for interactions involving locked lines.
+        rng: RNG for stochastic policies.
+    """
+
+    def __init__(
+        self, config: CacheConfig, lock_lru: bool = False, rng: RngLike = None
+    ):
+        super().__init__(config, rng=rng)
+        self.lock_lru = lock_lru
+
+    def _choose_victim(
+        self, cache_set: CacheSet, access: MemoryAccess
+    ) -> Optional[int]:
+        """Refuse replacement when the policy's choice is locked.
+
+        In the original design the refused victim's replacement state is
+        still updated ("Update replacement state of victim" in Figure
+        10); the hardened design skips that update.
+        """
+        victim = cache_set.choose_victim()
+        line = cache_set.lines[victim]
+        if line.valid and line.locked:
+            if not self.lock_lru:
+                cache_set.touch(victim, is_fill=False)
+            return None
+        return victim
+
+    def _update_hit_state(
+        self, cache_set: CacheSet, way: int, access: MemoryAccess
+    ) -> None:
+        """Hits on locked lines leave the LRU state untouched when hardened."""
+        if self.lock_lru and cache_set.lines[way].locked:
+            return
+        super()._update_hit_state(cache_set, way, access)
+
+    def _apply_lock_request(
+        self, cache_set: CacheSet, way: int, access: MemoryAccess
+    ) -> None:
+        """Honour lock/unlock flags carried on the access."""
+        line = cache_set.lines[way]
+        if access.locked:
+            line.locked = True
+        if access.unlock:
+            line.locked = False
+
+    def lock_line(self, address: int, address_space: int = 0, thread_id: int = 0):
+        """Convenience: access ``address`` with a lock request.
+
+        Returns the :class:`LookupResult` if the line was present, else
+        performs a fill with the lock bit set.
+        """
+        request = MemoryAccess(
+            address=address,
+            thread_id=thread_id,
+            address_space=address_space,
+            locked=True,
+        )
+        result = self.lookup(request, count=False)
+        if not result.hit:
+            return self.fill(request)
+        return result
+
+    def unlock_line(self, address: int, address_space: int = 0, thread_id: int = 0):
+        """Convenience: access ``address`` with an unlock request."""
+        request = MemoryAccess(
+            address=address,
+            thread_id=thread_id,
+            address_space=address_space,
+            unlock=True,
+        )
+        return self.lookup(request, count=False)

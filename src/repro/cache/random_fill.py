@@ -1,0 +1,59 @@
+"""Random-fill cache (Liu & Lee, the paper's reference [29]).
+
+Random fill decouples *demand* from *placement*: a missing access is
+served directly from the next level (uncached), and instead a random
+line from a neighbourhood window around the demand address is fetched
+into the cache.  This breaks miss-based contention channels.
+
+The paper's observation (Section IX-B): on a cache **hit** the
+replacement state is still updated, so the LRU channel — which only needs
+hits from the sender — still works against a random-fill cache.  Our
+model preserves exactly that behaviour so the claim is testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.cache import FillResult, SetAssociativeCache
+from repro.cache.cache_set import CacheSet
+from repro.cache.config import CacheConfig
+from repro.common.rng import RngLike, make_rng
+from repro.common.types import MemoryAccess
+
+
+class RandomFillCache(SetAssociativeCache):
+    """Cache whose fills target a random neighbour of the demand line.
+
+    Args:
+        config: Cache geometry.
+        window: Half-width, in lines, of the random-fill neighbourhood
+            around the demand address.
+        rng: RNG for choosing fill targets.
+    """
+
+    def __init__(self, config: CacheConfig, window: int = 8, rng: RngLike = None):
+        super().__init__(config, rng=rng)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._fill_rng = make_rng(rng)
+
+    def fill(self, access: MemoryAccess) -> FillResult:
+        """Serve the demand uncached; fill a random nearby line instead."""
+        offset_lines = self._fill_rng.randint(-self.window, self.window)
+        target = access.address + offset_lines * self.config.line_size
+        if target < 0:
+            target = access.address
+        surrogate = MemoryAccess(
+            address=target,
+            access_type=access.access_type,
+            thread_id=access.thread_id,
+            address_space=access.address_space,
+        )
+        # Install the surrogate line; the demand data itself bypasses the
+        # cache, so the caller should charge a full miss latency.
+        if not self.probe(target):
+            super().fill(surrogate)
+        result = FillResult(uncached=True)
+        return result

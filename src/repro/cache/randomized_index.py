@@ -1,0 +1,63 @@
+"""CEASER-style randomized set-index cache (paper Section IX-B).
+
+CEASER (Qureshi, the paper's reference [48]) encrypts line addresses
+with a keyed function before indexing, so software cannot tell which
+lines co-reside in a set.  The paper lists this family of defenses
+("randomize the mapping between the addresses and the cache sets") as
+effective against its channels for a structural reason: both LRU
+algorithms begin with the sender and the receiver *agreeing on a target
+set*, which requires predicting set indices from addresses.
+
+We model the keyed index as a per-instance pseudorandom permutation of
+line addresses onto sets.  ``remap()`` re-keys and flushes, modeling
+CEASER's periodic re-encryption epochs.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.common.rng import RngLike, make_rng
+
+
+class RandomizedIndexCache(SetAssociativeCache):
+    """Set-associative cache with a keyed address→set mapping.
+
+    Args:
+        config: Geometry; the ``policy`` may still be an LRU variant —
+            the defense works by hiding the set mapping, not by
+            changing the replacement policy.
+        rng: Seeds both the initial index key and stochastic policies.
+    """
+
+    def __init__(self, config: CacheConfig, rng: RngLike = None):
+        self._key = 0  # placeholder until super().__init__ completes
+        super().__init__(config, rng=rng)
+        self._key_rng = make_rng(rng)
+        self._key = self._key_rng.getrandbits(64) | 1
+
+    def _scrambled_index(self, address: int) -> int:
+        """Keyed index: a cheap keyed mix of the line address."""
+        line = address >> self.config.offset_bits
+        mixed = (line ^ self._key) * 0x9E3779B97F4A7C15
+        mixed ^= mixed >> 29
+        return mixed & (self.config.num_sets - 1)
+
+    def _locate(self, address: int):
+        index = self._scrambled_index(address)
+        # The tag must disambiguate all lines mapping to the set; with a
+        # scrambled index the plain high bits no longer suffice per-set,
+        # so the full line address is used as the tag (hardware stores
+        # the encrypted address's tag bits — same effect).
+        tag = address >> self.config.offset_bits
+        return self.sets[index], tag
+
+    def remap(self) -> None:
+        """Start a new epoch: re-key and flush (CEASER's remapping)."""
+        self._key = self._key_rng.getrandbits(64) | 1
+        for cache_set in self.sets:
+            for line in cache_set.lines:
+                line.invalidate()
+
+    def set_for(self, address: int):
+        return self.sets[self._scrambled_index(address)]

@@ -1,0 +1,84 @@
+"""The paper's core contribution: LRU-state timing channels.
+
+* :class:`SharedMemoryLRUChannel` — Algorithm 1 (Section IV-A).
+* :class:`NoSharedMemoryLRUChannel` — Algorithm 2 (Section IV-B).
+* :class:`CovertChannelProtocol` — Algorithm 3 (Section V), running the
+  channels under hyper-threaded or time-sliced sharing.
+* Decoders and evaluation for error rate (edit distance) and
+  transmission rate.
+"""
+
+from repro.channels.addresses import (
+    ChannelLayout,
+    lines_for_set,
+    private_memory_layout,
+    shared_memory_layout,
+)
+from repro.channels.algorithm1 import SharedMemoryLRUChannel
+from repro.channels.algorithm2 import NoSharedMemoryLRUChannel
+from repro.channels.base import LRUChannel
+from repro.channels.decoder import (
+    majority_filter,
+    moving_average_decode,
+    percent_ones,
+    runlength_decode,
+    sample_bits,
+    strip_stuck_runs,
+    threshold_decode,
+    window_decode,
+)
+from repro.channels.capacity import (
+    BinaryChannelStats,
+    bsc_capacity,
+    capacity_bits_per_second,
+)
+from repro.channels.coding import CodedPipe, hamming74_decode, hamming74_encode
+from repro.channels.llc import LLCChannel, LLCChannelRun
+from repro.channels.multiset import ParallelLRUChannel, ParallelTransferResult
+from repro.channels.evaluation import (
+    ChannelEvaluation,
+    evaluate_hyper_threaded,
+    nominal_rate_bps,
+    random_message,
+    sweep_error_rate,
+)
+from repro.channels.protocol import (
+    ChannelRun,
+    CovertChannelProtocol,
+    ProtocolConfig,
+)
+
+__all__ = [
+    "BinaryChannelStats",
+    "ChannelEvaluation",
+    "CodedPipe",
+    "ChannelLayout",
+    "ChannelRun",
+    "CovertChannelProtocol",
+    "LLCChannel",
+    "LLCChannelRun",
+    "LRUChannel",
+    "NoSharedMemoryLRUChannel",
+    "ParallelLRUChannel",
+    "ParallelTransferResult",
+    "ProtocolConfig",
+    "SharedMemoryLRUChannel",
+    "bsc_capacity",
+    "capacity_bits_per_second",
+    "evaluate_hyper_threaded",
+    "hamming74_decode",
+    "hamming74_encode",
+    "lines_for_set",
+    "majority_filter",
+    "moving_average_decode",
+    "nominal_rate_bps",
+    "percent_ones",
+    "private_memory_layout",
+    "random_message",
+    "runlength_decode",
+    "sample_bits",
+    "shared_memory_layout",
+    "strip_stuck_runs",
+    "threshold_decode",
+    "window_decode",
+]

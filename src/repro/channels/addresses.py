@@ -1,0 +1,136 @@
+"""Address layout for the LRU channels.
+
+The sender and the receiver must agree on a *target set* and use cache
+lines that map to it (paper Section IV: "line 0-N denote N+1 different
+cache lines mapping to the target set").  Because L1 caches are
+virtually-indexed/physically-tagged and the index bits sit below the page
+boundary, a process can place lines in a chosen set purely by picking
+virtual addresses with the right bits 6-11 (Section IV-B) — so the layout
+here needs no shared memory to agree on sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cache.config import CacheConfig
+from repro.common.errors import ConfigurationError
+
+
+def lines_for_set(
+    config: CacheConfig,
+    target_set: int,
+    count: int,
+    tag_base: int = 0,
+    irregular: bool = False,
+) -> List[int]:
+    """Return ``count`` distinct line addresses mapping to ``target_set``.
+
+    Args:
+        config: L1 geometry providing sets/line size.
+        target_set: Set index the lines must map to.
+        count: Number of distinct lines (distinct tags).
+        tag_base: Starting tag; use different bases to give the sender
+            and the receiver disjoint lines (Algorithm 2) or the same
+            base to model shared memory (Algorithm 1).
+        irregular: Space the tags non-uniformly (gaps 1, 2, 3, ...), so
+            walking the lines never exhibits a constant stride.  Real
+            attackers lay out eviction sets this way to avoid training
+            the hardware stride prefetcher (Appendix C noise).
+    """
+    if not 0 <= target_set < config.num_sets:
+        raise ConfigurationError(
+            f"target_set {target_set} out of range [0, {config.num_sets})"
+        )
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    set_stride = config.num_sets * config.line_size
+    base = target_set * config.line_size
+    if irregular:
+        tags = []
+        offset = 0
+        for i in range(count):
+            tags.append(tag_base + offset)
+            offset += i + 1  # gaps 1, 2, 3, ... -> no constant stride
+        return [base + t * set_stride for t in tags]
+    return [base + (tag_base + i) * set_stride for i in range(count)]
+
+
+@dataclass
+class ChannelLayout:
+    """The concrete addresses a channel instance uses.
+
+    Attributes:
+        config: L1 geometry the layout was built for.
+        target_set: The set carrying the information.
+        receiver_lines: The receiver's lines (``line 0 .. N-1`` or
+            ``0 .. N`` depending on the algorithm); ``receiver_lines[0]``
+            is the timed "line 0".
+        sender_line: The line the sender touches during encoding
+            (``line 0`` for Algorithm 1 — same address as the receiver's;
+            ``line N`` for Algorithm 2 — the sender's own line).
+    """
+
+    config: CacheConfig
+    target_set: int
+    receiver_lines: List[int] = field(default_factory=list)
+    sender_line: int = 0
+
+    @property
+    def probe_line(self) -> int:
+        """The address whose timing the receiver measures (line 0)."""
+        return self.receiver_lines[0]
+
+    def validate(self) -> None:
+        """Check every line maps to the target set and all are distinct."""
+        addresses = self.receiver_lines + [self.sender_line]
+        seen = set()
+        for address in addresses:
+            if self.config.set_index(address) != self.target_set:
+                raise ConfigurationError(
+                    f"address {address:#x} maps to set "
+                    f"{self.config.set_index(address)}, not {self.target_set}"
+                )
+            key = self.config.line_address(address)
+            if key in seen and address != self.sender_line:
+                raise ConfigurationError(f"duplicate line {address:#x}")
+            seen.add(key)
+
+
+def shared_memory_layout(
+    config: CacheConfig, target_set: int
+) -> ChannelLayout:
+    """Algorithm 1 layout: N+1 receiver lines; sender shares line 0.
+
+    The shared line models a read-only shared-library page mapped into
+    both processes (the paper's Flush+Reload-style sharing assumption).
+    """
+    lines = lines_for_set(config, target_set, config.ways + 1)
+    return ChannelLayout(
+        config=config,
+        target_set=target_set,
+        receiver_lines=lines,
+        sender_line=lines[0],
+    )
+
+
+def private_memory_layout(
+    config: CacheConfig, target_set: int
+) -> ChannelLayout:
+    """Algorithm 2 layout: N receiver lines; the sender owns line N.
+
+    The sender's line has a disjoint tag range — no shared memory is
+    needed, only agreement on the set index (achievable through virtual
+    addresses alone on a VIPT L1).
+    """
+    lines = lines_for_set(config, target_set, config.ways)
+    sender_line = lines_for_set(
+        config, target_set, 1, tag_base=config.ways + 16
+    )[0]
+    return ChannelLayout(
+        config=config,
+        target_set=target_set,
+        receiver_lines=lines,
+        sender_line=sender_line,
+    )

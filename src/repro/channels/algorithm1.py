@@ -1,0 +1,52 @@
+"""Algorithm 1 — LRU channel **with** shared memory (paper Section IV-A).
+
+The sender and the receiver share line 0 (e.g. a line in a shared
+library's read-only data).  The receiver touches all N+1 lines across its
+init+decode phases, which is one more line than the set holds, so line 0
+is evicted *unless* the sender refreshed its recency during the encoding
+phase.  A timed **hit** on line 0 therefore decodes as bit 1.
+
+Access pattern for N=8, d=8 (the paper's worked example):
+
+* init: 0 1 2 3 4 5 6 7
+* encode(1): 0   (a cache *hit* — no miss needed, the paper's key point)
+* decode: 8, then timed access to 0
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.config import CacheConfig
+from repro.channels.addresses import ChannelLayout, shared_memory_layout
+from repro.channels.base import LRUChannel
+
+
+class SharedMemoryLRUChannel(LRUChannel):
+    """The paper's Algorithm 1."""
+
+    name = "Alg. 1 (shared memory)"
+    hit_means_one = True
+
+    def max_d(self) -> int:
+        # d ranges over 1..N: the receiver may put at most all N ways'
+        # worth of distinct lines in the initialization phase.
+        return self.layout.config.ways
+
+    def total_receiver_lines(self) -> int:
+        # The receiver accesses N+1 lines in total (init + decode), which
+        # forces a replacement unless the sender intervened.
+        return self.layout.config.ways + 1
+
+    def sender_addresses(self, bit: int) -> List[int]:
+        self.check_bit(bit)
+        if bit == 1:
+            return [self.layout.sender_line]  # line 0, the shared line
+        return []
+
+    @classmethod
+    def build(
+        cls, config: CacheConfig, target_set: int = 1, d: int = 8
+    ) -> "SharedMemoryLRUChannel":
+        """Construct with a standard shared-memory layout."""
+        return cls(shared_memory_layout(config, target_set), d=d)

@@ -1,0 +1,59 @@
+"""Algorithm 2 — LRU channel **without** shared memory (Section IV-B).
+
+The sender owns a private line N mapping to the target set; the receiver
+owns lines 0..N-1, exactly filling the set.  If the sender touched line N
+during encoding, the set holds N+1 live lines and the receiver's decode
+accesses push one of its own lines out — by (P)LRU order, line 0.  A
+timed **miss** on line 0 therefore decodes as bit 1 (opposite polarity to
+Algorithm 1).
+
+Access pattern for N=8, d=4 (the paper's worked example):
+
+* init: 0 1 2 3
+* encode(1): 8   (a *hit* once line 8 is resident)
+* decode: 4 5 6 7, then timed access to 0
+
+This variant needs no shared memory — only agreement on the set index,
+which VIPT L1 indexing exposes through virtual-address bits 6-11 — at the
+cost of extra noise: any third-party access to the set also evicts
+line 0, producing false 1s (the same noise source Prime+Probe has).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.config import CacheConfig
+from repro.channels.addresses import ChannelLayout, private_memory_layout
+from repro.channels.base import LRUChannel
+
+
+class NoSharedMemoryLRUChannel(LRUChannel):
+    """The paper's Algorithm 2."""
+
+    name = "Alg. 2 (no shared memory)"
+    hit_means_one = False
+
+    def max_d(self) -> int:
+        # The receiver accesses N lines in total, split d / N-d; d = N
+        # would leave an empty decode phase, which is allowed (the whole
+        # eviction pressure then comes from the init phase of the next
+        # iteration), so d ranges 1..N as in the paper's sweeps.
+        return self.layout.config.ways
+
+    def total_receiver_lines(self) -> int:
+        # Exactly N lines: "just fitting in the cache set" (Section IV-B).
+        return self.layout.config.ways
+
+    def sender_addresses(self, bit: int) -> List[int]:
+        self.check_bit(bit)
+        if bit == 1:
+            return [self.layout.sender_line]  # line N, private to sender
+        return []
+
+    @classmethod
+    def build(
+        cls, config: CacheConfig, target_set: int = 1, d: int = 4
+    ) -> "NoSharedMemoryLRUChannel":
+        """Construct with a standard no-shared-memory layout."""
+        return cls(private_memory_layout(config, target_set), d=d)

@@ -1,0 +1,96 @@
+"""Abstract LRU channel: the three phases of Section IV.
+
+A channel subclass defines three address sequences — initialization,
+encoding (bit-dependent), and decoding — plus the polarity that maps the
+timed probe's hit/miss to the transmitted bit.  The protocol layer
+(:mod:`repro.channels.protocol`) turns these sequences into scheduled
+thread programs; the channel itself stays a pure description, so it can
+also be driven directly against a hierarchy for deterministic unit tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.channels.addresses import ChannelLayout
+from repro.common.errors import ProtocolError
+
+
+class LRUChannel(abc.ABC):
+    """Base class for the paper's two LRU channel algorithms.
+
+    Args:
+        layout: Concrete line addresses for the target set.
+        d: The receiver's split parameter — how many lines are accessed
+            in the initialization phase; the rest move to the decoding
+            phase.  The paper sweeps d from 1 to the associativity.
+    """
+
+    #: Channel name used in tables ("Alg. 1" / "Alg. 2").
+    name: str = "abstract"
+    #: True when a probe *hit* decodes as bit 1 (Algorithm 1), False
+    #: when a probe *miss* decodes as bit 1 (Algorithm 2).
+    hit_means_one: bool = True
+
+    def __init__(self, layout: ChannelLayout, d: int):
+        layout.validate()
+        self.layout = layout
+        max_d = self.max_d()
+        if not 1 <= d <= max_d:
+            raise ProtocolError(
+                f"{self.name}: d must be in [1, {max_d}], got {d}"
+            )
+        self.d = d
+
+    @abc.abstractmethod
+    def max_d(self) -> int:
+        """Largest valid ``d`` for this algorithm on this geometry."""
+
+    @abc.abstractmethod
+    def total_receiver_lines(self) -> int:
+        """How many lines the receiver touches per iteration in total."""
+
+    # ------------------------------------------------------------------
+    # Phase address sequences
+    # ------------------------------------------------------------------
+
+    def init_addresses(self) -> List[int]:
+        """Initialization phase: the receiver's first ``d`` lines."""
+        return self.layout.receiver_lines[: self.d]
+
+    def decode_addresses(self) -> List[int]:
+        """Decoding phase: the remaining lines, before the timed probe."""
+        return self.layout.receiver_lines[self.d : self.total_receiver_lines()]
+
+    @abc.abstractmethod
+    def sender_addresses(self, bit: int) -> List[int]:
+        """Encoding phase: addresses the sender touches for ``bit``.
+
+        Sending 0 touches nothing in both algorithms — the channel's
+        asymmetry (access = 1, silence = 0) is what makes the sender's
+        footprint minimal.
+        """
+
+    @property
+    def probe_address(self) -> int:
+        """The timed address (line 0)."""
+        return self.layout.probe_line
+
+    def decode_bit(self, probe_hit: bool) -> int:
+        """Map the probe's hit/miss observation to the received bit."""
+        if self.hit_means_one:
+            return 1 if probe_hit else 0
+        return 0 if probe_hit else 1
+
+    @staticmethod
+    def check_bit(bit: int) -> int:
+        if bit not in (0, 1):
+            raise ProtocolError(f"bit must be 0 or 1, got {bit!r}")
+        return bit
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(set={self.layout.target_set}, "
+            f"d={self.d})"
+        )

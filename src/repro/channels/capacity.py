@@ -1,0 +1,101 @@
+"""Information-theoretic channel quality: capacity from observations.
+
+The paper reports transmission rate and error rate separately; the
+single number that combines them is the channel's *capacity* — the
+mutual information between sent and decoded bits, times the symbol
+rate.  This module estimates it from empirical confusion counts, which
+lets experiments compare configurations (d, Tr, policies, defenses) on
+one axis and lets the defense evaluations state "the channel carries
+~0 bits" precisely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def _entropy(probabilities: Sequence[float]) -> float:
+    return -sum(p * math.log2(p) for p in probabilities if p > 0.0)
+
+
+@dataclass(frozen=True)
+class BinaryChannelStats:
+    """Empirical confusion counts of a binary channel.
+
+    Attributes:
+        n00: Sent 0, decoded 0.
+        n01: Sent 0, decoded 1.
+        n10: Sent 1, decoded 0.
+        n11: Sent 1, decoded 1.
+    """
+
+    n00: int
+    n01: int
+    n10: int
+    n11: int
+
+    @classmethod
+    def from_bits(
+        cls, sent: Sequence[int], decoded: Sequence[int]
+    ) -> "BinaryChannelStats":
+        """Tally a paired (sent, decoded) sample; lengths must match."""
+        if len(sent) != len(decoded):
+            raise ValueError(
+                f"length mismatch: {len(sent)} sent vs {len(decoded)} decoded"
+            )
+        counts = [[0, 0], [0, 0]]
+        for s, r in zip(sent, decoded):
+            counts[s][r] += 1
+        return cls(counts[0][0], counts[0][1], counts[1][0], counts[1][1])
+
+    @property
+    def total(self) -> int:
+        return self.n00 + self.n01 + self.n10 + self.n11
+
+    def mutual_information(self) -> float:
+        """I(sent; decoded) in bits per symbol, from the joint counts."""
+        n = self.total
+        if n == 0:
+            return 0.0
+        joint = [
+            [self.n00 / n, self.n01 / n],
+            [self.n10 / n, self.n11 / n],
+        ]
+        sent_marginal = [joint[0][0] + joint[0][1], joint[1][0] + joint[1][1]]
+        recv_marginal = [joint[0][0] + joint[1][0], joint[0][1] + joint[1][1]]
+        return (
+            _entropy(sent_marginal)
+            + _entropy(recv_marginal)
+            - _entropy([p for row in joint for p in row])
+        )
+
+    def crossover_probabilities(self):
+        """(P(1 decoded | 0 sent), P(0 decoded | 1 sent))."""
+        zeros = self.n00 + self.n01
+        ones = self.n10 + self.n11
+        p01 = self.n01 / zeros if zeros else 0.0
+        p10 = self.n10 / ones if ones else 0.0
+        return p01, p10
+
+
+def bsc_capacity(flip_probability: float) -> float:
+    """Capacity of a binary symmetric channel with the given flip rate.
+
+    The theoretical ceiling ``1 - H(p)``; a channel with an empirical
+    flip rate p cannot beat this no matter how it is decoded.
+    """
+    if not 0.0 <= flip_probability <= 1.0:
+        raise ValueError(f"flip probability must be in [0,1], got {flip_probability}")
+    return 1.0 - _entropy([flip_probability, 1.0 - flip_probability])
+
+
+def capacity_bits_per_second(
+    stats: BinaryChannelStats, symbol_period_cycles: float, frequency_ghz: float
+) -> float:
+    """Capacity in bits/s: mutual information times the symbol rate."""
+    if symbol_period_cycles <= 0:
+        raise ValueError("symbol period must be positive")
+    symbols_per_second = frequency_ghz * 1e9 / symbol_period_cycles
+    return stats.mutual_information() * symbols_per_second

@@ -1,0 +1,226 @@
+"""Receiver-side decoding of observation traces into bit strings.
+
+Three decoders, matching how the paper reads its own traces:
+
+* :func:`threshold_decode` — per-sample bit via the hit/miss threshold
+  (the red dotted line in Figures 5 and 14).
+* :func:`runlength_decode` — clock-free symbol recovery: consecutive
+  equal samples collapse into runs, each run emits ``round(len/spb)``
+  bits.  This is what produces the paper's three error types (flips,
+  insertions, losses).
+* :func:`moving_average_decode` — the AMD path (Figure 7): the coarse
+  TSC makes single samples unreadable, so the receiver smooths with a
+  moving average, fits the bit period, and slices the wave.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.channels.protocol import ChannelRun
+from repro.common.errors import ProtocolError
+from repro.common.stats import (
+    best_fit_period,
+    fraction_of_ones,
+    mean,
+    moving_average,
+    threshold_classify,
+)
+from repro.common.types import Observation
+
+
+def sample_bits(run: ChannelRun) -> List[int]:
+    """Per-observation bits using the run's threshold and polarity."""
+    above_is = 0 if run.hit_means_one else 1
+    return threshold_classify(run.latencies(), run.threshold, above_is=above_is)
+
+
+def threshold_decode(
+    latencies: Sequence[float], threshold: float, hit_means_one: bool
+) -> List[int]:
+    """Classify each latency into a bit (no symbol-clock recovery)."""
+    above_is = 0 if hit_means_one else 1
+    return threshold_classify(latencies, threshold, above_is=above_is)
+
+
+def majority_filter(bits: Sequence[int], window: int = 3) -> List[int]:
+    """Sliding-window majority vote, suppressing isolated sample flips.
+
+    A receiver oversampling at Ts/Tr samples per bit applies this before
+    symbol recovery: a single noisy sample inside a long run would
+    otherwise split the run and insert spurious bits.
+    """
+    bits = list(bits)
+    if window < 1 or window % 2 == 0:
+        raise ProtocolError(f"window must be odd and >= 1, got {window}")
+    if window == 1 or len(bits) < window:
+        return bits
+    half = window // 2
+    out: List[int] = []
+    for i in range(len(bits)):
+        lo = max(0, i - half)
+        hi = min(len(bits), i + half + 1)
+        chunk = bits[lo:hi]
+        out.append(1 if sum(chunk) * 2 > len(chunk) else 0)
+    return out
+
+
+def runlength_decode(
+    bits: Sequence[int], samples_per_bit: float, smooth: bool = True
+) -> List[int]:
+    """Collapse an oversampled bit stream into message bits.
+
+    Args:
+        bits: Per-sample decoded bits.
+        samples_per_bit: Nominal observations per transmitted bit
+            (``Ts / Tr``).
+        smooth: Apply :func:`majority_filter` first (recommended for
+            oversampled channels; disable to study raw error structure).
+
+    Each maximal run of identical samples contributes
+    ``max(1, round(run_length / samples_per_bit))`` message bits.  Too
+    few samples in a run loses bits; noise splitting a run inserts bits —
+    the paper's error taxonomy emerges naturally.
+    """
+    if samples_per_bit <= 0:
+        raise ProtocolError(
+            f"samples_per_bit must be positive, got {samples_per_bit}"
+        )
+    if smooth and samples_per_bit >= 4:
+        bits = majority_filter(bits, window=3)
+    message: List[int] = []
+    run_value: Optional[int] = None
+    run_length = 0
+    for bit in bits:
+        if bit == run_value:
+            run_length += 1
+            continue
+        if run_value is not None:
+            message.extend([run_value] * max(1, round(run_length / samples_per_bit)))
+        run_value = bit
+        run_length = 1
+    if run_value is not None:
+        message.extend([run_value] * max(1, round(run_length / samples_per_bit)))
+    return message
+
+
+def window_decode(
+    run: ChannelRun, boundaries: Optional[Sequence[float]] = None
+) -> List[int]:
+    """Oracle-clock decode: majority-vote samples inside each bit window.
+
+    Uses the sender's recorded bit-boundary timestamps (available in a
+    controlled experiment; a real attacker would recover the clock as in
+    :func:`runlength_decode`).  Windows containing no observation decode
+    as lost bits and are skipped, surfacing as deletions in the edit
+    distance.
+    """
+    boundaries = list(boundaries if boundaries is not None else run.bit_boundaries)
+    if not boundaries:
+        raise ProtocolError("run has no sender bit boundaries")
+    bits = sample_bits(run)
+    stamps = [o.timestamp for o in run.observations]
+    decoded: List[int] = []
+    for k, start in enumerate(boundaries):
+        end = (
+            boundaries[k + 1]
+            if k + 1 < len(boundaries)
+            else start + (boundaries[-1] - boundaries[-2] if len(boundaries) > 1 else 0)
+        )
+        votes = [
+            bit
+            for bit, stamp in zip(bits, stamps)
+            if start <= stamp < end
+        ]
+        if not votes:
+            continue  # lost bit
+        decoded.append(1 if sum(votes) * 2 >= len(votes) else 0)
+    return decoded
+
+
+def moving_average_decode(
+    latencies: Sequence[float],
+    samples_per_bit_hint: int,
+    hit_means_one: bool,
+    window: Optional[int] = None,
+) -> List[int]:
+    """AMD-style decode: smooth, fit the period, slice the wave (Fig. 7).
+
+    Args:
+        latencies: Raw observed latencies (coarse, noisy).
+        samples_per_bit_hint: Rough expected samples per bit, used to
+            bound the period search.
+        hit_means_one: Channel polarity.
+        window: Moving-average window; defaults to the fitted period.
+    """
+    latencies = list(latencies)
+    if len(latencies) < 4:
+        return []
+    period = best_fit_period(
+        latencies,
+        min_period=max(2, samples_per_bit_hint // 2),
+        max_period=max(3, samples_per_bit_hint * 2),
+    )
+    window = window or period
+    smoothed = moving_average(latencies, window)
+    if not smoothed:
+        return []
+    threshold = mean(smoothed)
+
+    def slices(offset: int) -> List[List[float]]:
+        return [
+            smoothed[start : start + period]
+            for start in range(offset, len(smoothed) - period + 1, period)
+        ]
+
+    # Phase recovery: the receiver does not know where bit boundaries
+    # fall in its sample stream; pick the slicing offset that maximizes
+    # the average distance of slice means from the global mean (slices
+    # aligned with bits are uniformly high or low; misaligned slices
+    # straddle a transition and regress to the mean).
+    best_offset = 0
+    best_score = -1.0
+    for offset in range(period):
+        chunks = slices(offset)
+        if not chunks:
+            continue
+        score = mean([abs(mean(c) - threshold) for c in chunks])
+        if score > best_score:
+            best_score = score
+            best_offset = offset
+
+    decoded: List[int] = []
+    for chunk in slices(best_offset):
+        high = mean(chunk) > threshold
+        bit_if_high = 0 if hit_means_one else 1
+        decoded.append(bit_if_high if high else 1 - bit_if_high)
+    return decoded
+
+
+def strip_stuck_runs(bits: Sequence[int], max_run: int) -> List[int]:
+    """Drop implausibly long constant runs (the paper's noise filter).
+
+    Section V-A: noise "errors usually occur consecutively in time. So
+    the receiver can detect the noise if observing a long sequence of
+    all 1 or all 0. We exclude those traces."  Runs longer than
+    ``max_run`` are truncated to ``max_run`` samples.
+    """
+    if max_run < 1:
+        raise ProtocolError(f"max_run must be >= 1, got {max_run}")
+    out: List[int] = []
+    run_value: Optional[int] = None
+    run_length = 0
+    for bit in bits:
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value = bit
+            run_length = 1
+        if run_length <= max_run:
+            out.append(bit)
+    return out
+
+
+def percent_ones(run: ChannelRun) -> float:
+    """Fraction of 1s among per-sample bits (Figures 6, 8, 15)."""
+    return fraction_of_ones(sample_bits(run))

@@ -1,0 +1,165 @@
+"""Cross-core LLC replacement-state channel (paper footnote 1, Section X).
+
+The paper demonstrates its channels in the L1, where sender and
+receiver must share a physical core.  Footnote 1 notes the same
+replacement-state leak exists at other levels; at the LLC the
+co-residency requirement relaxes to *same socket*, because the LLC is
+shared across cores.  This module ports Algorithm 2 to the LLC on the
+:class:`repro.cache.multicore.MultiCoreSystem` substrate.
+
+Two properties distinguish the LLC variant, both made measurable here:
+
+* **Reach.** The sender's encode access only updates LLC replacement
+  state if it misses its private L1/L2, so the sender self-evicts
+  before every encode — visible L1/L2 misses that the L1 channel never
+  needs (Section III's stealth argument, quantified by
+  ``sender_private_misses``).
+* **Policy.** LLCs do not use textbook PLRU; Intel's LLC keeps
+  LRU-like age metadata (which the concurrent Reload+Refresh work [39]
+  reverse-engineered).  The substrate's LLC policy is configurable; the
+  channel works on ``lru`` and ``tree-plru`` LLCs and degrades on
+  ``srrip``/``random`` (its own ablation).
+
+The protocol is Algorithm 2 verbatim, one level down: the receiver owns
+W lines exactly filling the target LLC set; the sender owns one more
+line S; if the sender touched S, the receiver's W accesses no longer
+fit and its line 0 gets evicted — a memory-latency probe.  Because
+LLC-hit and memory latencies differ by ~160 cycles, a bare ``rdtscp``
+suffices for the probe (no pointer chasing needed, unlike the L1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cache.multicore import MultiCoreSystem
+from repro.common.errors import ProtocolError
+from repro.common.rng import RngLike, make_rng, spawn_rng
+from repro.common.types import CacheLevel
+from repro.timing.tsc import INTEL_TSC, TimestampCounter
+
+SENDER_CORE = 0
+RECEIVER_CORE = 1
+
+
+@dataclass
+class LLCChannelRun:
+    """Record of one LLC-channel transmission."""
+
+    sent_bits: List[int] = field(default_factory=list)
+    decoded_bits: List[int] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)  # probe per bit
+    threshold: float = 0.0
+    sender_private_misses: int = 0  # L1/L2 misses the encode required
+    sender_llc_misses: int = 0  # encodes that also missed the LLC
+    sender_encodes: int = 0
+
+    def accuracy(self) -> float:
+        if not self.sent_bits:
+            return 0.0
+        hits = sum(
+            1 for s, r in zip(self.sent_bits, self.decoded_bits) if s == r
+        )
+        return hits / len(self.sent_bits)
+
+
+class LLCChannel:
+    """Algorithm 2 ported to a shared LLC, across cores.
+
+    Args:
+        system: The shared-LLC multicore substrate.  Build it with
+            ``MultiCoreConfig(llc=CacheConfig(..., policy="lru"))`` (or
+            ``"tree-plru"``) — the LRU-family policies whose state
+            leaks.
+        target_set: LLC set index carrying the channel.
+        d: Receiver's initialization split (as in the L1 channel).
+        tsc: Timer model for the receiver's probes.
+        rng: Seed for timer noise.
+    """
+
+    def __init__(
+        self,
+        system: MultiCoreSystem,
+        target_set: int = 3,
+        d: int = 8,
+        tsc: TimestampCounter = None,
+        rng: RngLike = None,
+    ):
+        llc = system.config.llc
+        if not 0 <= target_set < llc.num_sets:
+            raise ProtocolError(f"target_set {target_set} out of range")
+        if not 1 <= d <= llc.ways:
+            raise ProtocolError(f"d must be in [1, {llc.ways}], got {d}")
+        self.system = system
+        self.target_set = target_set
+        self.d = d
+        r = make_rng(rng)
+        self.tsc = tsc or TimestampCounter(INTEL_TSC, rng=spawn_rng(r, "tsc"))
+
+        stride = llc.num_sets * llc.line_size
+        base = target_set * llc.line_size
+        ways = llc.ways
+        self.receiver_lines = [base + i * stride for i in range(ways)]
+        self.sender_line = base + (ways + 4) * stride
+        self.threshold = (
+            system.config.llc.hit_latency + system.config.memory_latency
+        ) / 2.0 + self.tsc.spec.overhead_mean
+
+    # ------------------------------------------------------------------
+    # Phase operations
+    # ------------------------------------------------------------------
+
+    def _receiver_llc_touch(self, address: int, count: bool = True):
+        """Receiver access guaranteed to reach the LLC."""
+        self.system.evict_private(RECEIVER_CORE, address)
+        return self.system.load(RECEIVER_CORE, address, count=count)
+
+    def receiver_init(self) -> None:
+        """Initialization phase: lines 0..d-1."""
+        for address in self.receiver_lines[: self.d]:
+            self._receiver_llc_touch(address, count=False)
+
+    def sender_encode(self, bit: int, run: LLCChannelRun) -> None:
+        """Encoding phase: touch S (from the sender's core) iff bit 1."""
+        if bit not in (0, 1):
+            raise ProtocolError(f"bit must be 0 or 1, got {bit!r}")
+        if bit == 0:
+            return
+        # The self-eviction is the point: these are the private-level
+        # misses that make the LLC variant less stealthy than the L1
+        # channel.
+        self.system.evict_private(SENDER_CORE, self.sender_line)
+        run.sender_private_misses += 1
+        outcome = self.system.load(SENDER_CORE, self.sender_line)
+        if outcome.hit_level == CacheLevel.MEMORY:
+            run.sender_llc_misses += 1
+        run.sender_encodes += 1
+
+    def receiver_decode_and_probe(self) -> tuple:
+        """Decoding phase: lines d..W-1, then the timed probe of line 0."""
+        for address in self.receiver_lines[self.d :]:
+            self._receiver_llc_touch(address, count=False)
+        outcome = self._receiver_llc_touch(self.receiver_lines[0])
+        observed = self.tsc.measure(outcome.latency, serialized=False)
+        decoded = 1 if outcome.hit_level == CacheLevel.MEMORY else 0
+        return decoded, observed
+
+    # ------------------------------------------------------------------
+    # Full transfer
+    # ------------------------------------------------------------------
+
+    def transfer(self, message: List[int]) -> LLCChannelRun:
+        """Send a bit string; returns the receiver's record."""
+        run = LLCChannelRun(threshold=self.threshold)
+        # Warm-up: establish the steady-state resident set.
+        for address in self.receiver_lines:
+            self._receiver_llc_touch(address, count=False)
+        for bit in message:
+            self.receiver_init()
+            self.sender_encode(bit, run)
+            decoded, observed = self.receiver_decode_and_probe()
+            run.sent_bits.append(bit)
+            run.decoded_bits.append(decoded)
+            run.latencies.append(observed)
+        return run

@@ -1,0 +1,192 @@
+"""Multi-set parallel LRU channel (paper Section IV: "several sets can
+be used in parallel to increase the transmission rate").
+
+One target set carries one bit per receiver period; M sets carry an
+M-bit symbol.  This is exactly how the paper's Spectre demonstration
+uses the channel (63 sets at once, Section VIII); here it is packaged
+as a general transport with a byte-oriented convenience API.
+
+The implementation drives the hierarchy round-by-round (deterministic,
+like the Figure 11 experiment) rather than through the SMT scheduler:
+each round is one synchronized init/encode/decode pass over all lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.channels.algorithm1 import SharedMemoryLRUChannel
+from repro.channels.base import LRUChannel
+from repro.common.errors import ProtocolError
+
+SENDER_THREAD = 1
+RECEIVER_THREAD = 0
+
+
+@dataclass
+class ParallelTransferResult:
+    """Outcome of a multi-lane transfer."""
+
+    lanes: int
+    sent_symbols: List[List[int]] = field(default_factory=list)
+    received_symbols: List[List[int]] = field(default_factory=list)
+
+    def symbol_accuracy(self) -> float:
+        """Fraction of whole symbols received intact."""
+        if not self.sent_symbols:
+            return 0.0
+        ok = sum(
+            1
+            for s, r in zip(self.sent_symbols, self.received_symbols)
+            if s == r
+        )
+        return ok / len(self.sent_symbols)
+
+    def bit_accuracy(self) -> float:
+        """Fraction of individual bits received correctly."""
+        total = correct = 0
+        for s, r in zip(self.sent_symbols, self.received_symbols):
+            for a, b in zip(s, r):
+                total += 1
+                correct += int(a == b)
+        return correct / total if total else 0.0
+
+
+class ParallelLRUChannel:
+    """M independent Algorithm-1 lanes, one per cache set.
+
+    Args:
+        hierarchy: Shared memory system.
+        lanes: Number of parallel target sets (the paper's Spectre
+            attack uses 63 of 64).
+        first_set: Lowest set index used; lanes occupy consecutive sets.
+        d: Receiver split parameter for every lane.
+    """
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        lanes: int = 8,
+        first_set: int = 1,
+        d: int = 8,
+    ):
+        l1 = hierarchy.config.l1
+        if lanes < 1:
+            raise ProtocolError(f"lanes must be >= 1, got {lanes}")
+        if first_set + lanes > l1.num_sets:
+            raise ProtocolError(
+                f"{lanes} lanes from set {first_set} exceed "
+                f"{l1.num_sets} sets"
+            )
+        self.hierarchy = hierarchy
+        self.lanes = lanes
+        self.channels: List[LRUChannel] = [
+            SharedMemoryLRUChannel.build(l1, first_set + i, d=d)
+            for i in range(lanes)
+        ]
+
+    def _load(self, address: int, thread: int, space: int) -> bool:
+        outcome = self.hierarchy.load(
+            address, thread_id=thread, address_space=space
+        )
+        return outcome.l1_hit
+
+    def transfer_symbol(self, bits: Sequence[int]) -> List[int]:
+        """One synchronized round carrying ``lanes`` bits."""
+        if len(bits) != self.lanes:
+            raise ProtocolError(
+                f"symbol must have {self.lanes} bits, got {len(bits)}"
+            )
+        # Initialization phase across all lanes.
+        for channel in self.channels:
+            for address in channel.init_addresses():
+                self._load(address, RECEIVER_THREAD, 0)
+        # Encoding phase: the sender touches line 0 of each 1-lane.
+        for channel, bit in zip(self.channels, bits):
+            for address in channel.sender_addresses(
+                LRUChannel.check_bit(bit)
+            ):
+                self._load(address, SENDER_THREAD, 1)
+        # Decoding phase + probes.
+        decoded: List[int] = []
+        for channel in self.channels:
+            for address in channel.decode_addresses():
+                self._load(address, RECEIVER_THREAD, 0)
+            probe_hit = self._load(channel.probe_address, RECEIVER_THREAD, 0)
+            decoded.append(channel.decode_bit(probe_hit))
+        return decoded
+
+    def warm_up(self) -> None:
+        """Establish each lane's steady state (line 0 resident).
+
+        Algorithm 1 assumes "the victim line is already in cache before
+        the attack" (Section VII); a cold lane mis-decodes its first
+        symbol otherwise.
+        """
+        ways = self.hierarchy.config.l1.ways
+        for channel in self.channels:
+            # Load lines 0..N-1 only: they exactly fill the set, leaving
+            # line 0 resident (loading line N too would evict it).
+            for address in channel.layout.receiver_lines[:ways]:
+                self.hierarchy.load(
+                    address, thread_id=RECEIVER_THREAD, count=False
+                )
+
+    def transfer(
+        self,
+        symbols: Sequence[Sequence[int]],
+        preamble_rounds: int = 2,
+    ) -> ParallelTransferResult:
+        """Send a sequence of M-bit symbols.
+
+        Args:
+            preamble_rounds: Throwaway all-zero rounds before the
+                payload.  Tree-PLRU needs 2-3 iterations of the access
+                sequence before the victim choice settles (Table I's
+                loop-iteration columns); real senders burn a preamble
+                for the same reason they send sync patterns.
+        """
+        self.warm_up()
+        for _ in range(preamble_rounds):
+            self.transfer_symbol([0] * self.lanes)
+        result = ParallelTransferResult(lanes=self.lanes)
+        for symbol in symbols:
+            received = self.transfer_symbol(list(symbol))
+            result.sent_symbols.append(list(symbol))
+            result.received_symbols.append(received)
+        return result
+
+    # ------------------------------------------------------------------
+    # Byte-oriented convenience API
+    # ------------------------------------------------------------------
+
+    def send_bytes(self, payload: bytes) -> ParallelTransferResult:
+        """Send a byte string, packing bits across lanes."""
+        bits: List[int] = []
+        for byte in payload:
+            bits.extend((byte >> (7 - i)) & 1 for i in range(8))
+        # Pad to a whole number of symbols.
+        while len(bits) % self.lanes:
+            bits.append(0)
+        symbols = [
+            bits[i : i + self.lanes] for i in range(0, len(bits), self.lanes)
+        ]
+        return self.transfer(symbols)
+
+    @staticmethod
+    def decode_bytes(result: ParallelTransferResult, length: int) -> bytes:
+        """Reassemble ``length`` bytes from a transfer result."""
+        bits: List[int] = []
+        for symbol in result.received_symbols:
+            bits.extend(symbol)
+        out = bytearray()
+        for i in range(length):
+            byte = 0
+            for j in range(8):
+                index = i * 8 + j
+                bit = bits[index] if index < len(bits) else 0
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)

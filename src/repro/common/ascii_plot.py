@@ -1,0 +1,81 @@
+"""Terminal plotting helpers for traces and histograms.
+
+The paper communicates its channels through latency-trace plots
+(Figures 5, 7, 11, 14) and histograms (Figures 3, 13).  These helpers
+render the same shapes as ASCII so examples and the CLI can show an
+actual trace, not just summary numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+#: Eight-level block characters, lowest to highest.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render values as a one-line sparkline.
+
+    Args:
+        values: The series (e.g. receiver latencies).
+        width: Optional maximum width; longer series are bucket-averaged
+            down to fit.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if width is not None and width > 0 and len(values) > width:
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARKS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARKS[min(len(_SPARKS) - 1, int((v - lo) / span * len(_SPARKS)))]
+        for v in values
+    )
+
+
+def threshold_trace(
+    values: Sequence[float], threshold: float, width: Optional[int] = None
+) -> str:
+    """Two-line rendering: sparkline plus hit/miss classification row.
+
+    The second row marks samples above the threshold with ``^`` — the
+    "red dotted line" of the paper's trace figures, in text.
+    """
+    values = list(values)
+    if width is not None and len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    line1 = sparkline(values)
+    line2 = "".join("^" if v > threshold else "." for v in values)
+    return f"{line1}\n{line2}"
+
+
+def bar_histogram(
+    edges_and_counts: Sequence, width: int = 40, label_format: str = "{:>8.1f}"
+) -> List[str]:
+    """Render (edge, count) pairs as horizontal bars.
+
+    Returns one string per bin, e.g. for a latency histogram::
+
+        32.0 |##################           (412)
+    """
+    pairs = list(edges_and_counts)
+    if not pairs:
+        return []
+    peak = max(count for _, count in pairs)
+    if peak == 0:
+        return []
+    lines = []
+    for edge, count in pairs:
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"{label_format.format(edge)} |{bar:<{width}} ({count})")
+    return lines

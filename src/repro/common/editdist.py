@@ -1,0 +1,105 @@
+"""Wagner-Fischer edit distance, as used in the paper's Section V-A.
+
+The paper evaluates channel error rates by computing the edit distance
+between the sent and received bit strings: this counts bit flips,
+insertions, and deletions uniformly, which is the right metric for a
+channel that can lose or duplicate bits due to sampling-rate mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def edit_distance(sent: Sequence, received: Sequence) -> int:
+    """Return the Levenshtein distance between two sequences.
+
+    Implements the Wagner-Fischer dynamic program with two rolling rows,
+    so memory is O(min(len(sent), len(received))).
+
+    Args:
+        sent: The reference sequence (e.g. transmitted bits).
+        received: The observed sequence (e.g. decoded bits).
+
+    Returns:
+        The minimum number of single-element insertions, deletions, and
+        substitutions needed to transform ``sent`` into ``received``.
+    """
+    if len(sent) < len(received):
+        sent, received = received, sent
+    # ``received`` is now the shorter sequence; rows are indexed by it.
+    previous = list(range(len(received) + 1))
+    for i, a in enumerate(sent, start=1):
+        current = [i]
+        for j, b in enumerate(received, start=1):
+            cost = 0 if a == b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution / match
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def edit_operations(sent: Sequence, received: Sequence) -> List[Tuple[str, int, int]]:
+    """Return an explicit edit script transforming ``sent`` into ``received``.
+
+    Useful for diagnosing *which* error type dominates a channel (flips vs
+    insertions vs losses), mirroring the paper's taxonomy of the three
+    error types.
+
+    Returns:
+        A list of ``(op, i, j)`` tuples where ``op`` is one of ``"match"``,
+        ``"substitute"``, ``"delete"`` (element ``sent[i]`` dropped), or
+        ``"insert"`` (element ``received[j]`` added), and ``i``/``j`` are
+        indices into the respective sequences (or -1 when not applicable).
+    """
+    rows = len(sent) + 1
+    cols = len(received) + 1
+    dist = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        dist[i][0] = i
+    for j in range(cols):
+        dist[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            cost = 0 if sent[i - 1] == received[j - 1] else 1
+            dist[i][j] = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+    # Backtrack from the bottom-right corner.
+    ops: List[Tuple[str, int, int]] = []
+    i, j = len(sent), len(received)
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            cost = 0 if sent[i - 1] == received[j - 1] else 1
+            if dist[i][j] == dist[i - 1][j - 1] + cost:
+                ops.append(("match" if cost == 0 else "substitute", i - 1, j - 1))
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and dist[i][j] == dist[i - 1][j] + 1:
+            ops.append(("delete", i - 1, -1))
+            i -= 1
+            continue
+        ops.append(("insert", -1, j - 1))
+        j -= 1
+    ops.reverse()
+    return ops
+
+
+def channel_error_rate(sent: Sequence, received: Sequence) -> float:
+    """Edit-distance error rate normalized by the sent-string length.
+
+    This is the paper's error metric: ``edit_distance / len(sent)``.
+    An empty ``sent`` with a non-empty ``received`` counts every received
+    element as an error against a length of 1 to avoid division by zero.
+    """
+    if not sent:
+        return float(len(received))
+    return edit_distance(sent, received) / len(sent)

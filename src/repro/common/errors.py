@@ -1,0 +1,35 @@
+"""Exception hierarchy for the reproduction library.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch one base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at construction time (for example, a cache whose size is
+    not divisible by ``line_size * ways``) so that misconfiguration never
+    produces silently-wrong simulation results.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent or unsupported state.
+
+    Examples: scheduling a thread that has already finished, or asking a
+    replacement policy for a victim in an empty set when the policy expects
+    the set to be full.
+    """
+
+
+class ProtocolError(ReproError):
+    """A channel protocol was driven incorrectly.
+
+    Examples: decoding before any bits were transmitted, or using a ``d``
+    parameter outside the valid range for the cache associativity.
+    """

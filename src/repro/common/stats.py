@@ -1,0 +1,219 @@
+"""Small statistics helpers used throughout the experiments.
+
+The paper presents its results as latency histograms (Figures 3, 13),
+moving averages over noisy traces (Figure 7), and threshold classification
+of latencies into bits (Figures 5, 14).  These helpers implement exactly
+those operations so the experiment modules stay declarative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Population variance; 0.0 for sequences shorter than 2."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return sum((v - mu) ** 2 for v in values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    return math.sqrt(variance(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1 - frac) + data[hi] * frac
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Centered-start moving average as used for the AMD traces (Fig. 7).
+
+    Each output element ``i`` is the mean of ``values[i : i + window]``;
+    the output is shorter than the input by ``window - 1``.  A window
+    longer than the input returns a single overall mean.
+    """
+    values = list(values)
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if not values:
+        return []
+    if window >= len(values):
+        return [mean(values)]
+    out: List[float] = []
+    running = sum(values[:window])
+    out.append(running / window)
+    for i in range(window, len(values)):
+        running += values[i] - values[i - window]
+        out.append(running / window)
+    return out
+
+
+def threshold_classify(
+    values: Sequence[float], threshold: float, above_is: int = 1
+) -> List[int]:
+    """Map each latency to a bit by comparing against a threshold.
+
+    Args:
+        values: Observed latencies.
+        threshold: The L1-hit/miss decision boundary (the red dotted line
+            in the paper's trace figures).
+        above_is: The bit assigned to values strictly above the threshold.
+            Algorithm 1 receivers use ``above_is=0`` (hit ⇒ sender sent 1);
+            Algorithm 2 receivers use ``above_is=1`` (miss ⇒ sender sent 1).
+    """
+    below_is = 1 - above_is
+    return [above_is if v > threshold else below_is for v in values]
+
+
+def otsu_threshold(values: Sequence[float]) -> float:
+    """Pick a bimodal-separation threshold by maximizing between-class variance.
+
+    The paper states thresholds were "selected such as to maximize the
+    difference between 0 and 1" (Section VI-B); Otsu's method is the
+    standard realization of that idea for a 1-D bimodal sample.
+    """
+    data = sorted(values)
+    if not data:
+        raise ValueError("cannot threshold an empty sample")
+    if data[0] == data[-1]:
+        return data[0]
+    best_threshold = data[0]
+    best_score = -1.0
+    total_mean = mean(data)
+    n = len(data)
+    left_sum = 0.0
+    for i in range(1, n):
+        left_sum += data[i - 1]
+        left_n = i
+        right_n = n - i
+        left_mean = left_sum / left_n
+        right_mean = (total_mean * n - left_sum) / right_n
+        score = left_n * right_n * (left_mean - right_mean) ** 2
+        if score > best_score:
+            best_score = score
+            best_threshold = (data[i - 1] + data[i]) / 2.0
+    return best_threshold
+
+
+@dataclass
+class Histogram:
+    """Fixed-width-bin histogram matching the paper's latency plots.
+
+    Attributes:
+        bin_width: Width of each bin in cycles.
+        counts: Mapping from bin lower edge to count.
+    """
+
+    bin_width: float = 1.0
+    counts: Dict[float, int] = field(default_factory=dict)
+    total: int = 0
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        edge = math.floor(value / self.bin_width) * self.bin_width
+        self.counts[edge] = self.counts.get(edge, 0) + 1
+        self.total += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many samples."""
+        for v in values:
+            self.add(v)
+
+    def frequencies(self) -> List[Tuple[float, float]]:
+        """Return (bin lower edge, relative frequency) sorted by edge."""
+        if self.total == 0:
+            return []
+        return [
+            (edge, count / self.total)
+            for edge, count in sorted(self.counts.items())
+        ]
+
+    def mode(self) -> float:
+        """Lower edge of the most populated bin."""
+        if not self.counts:
+            raise ValueError("mode of empty histogram")
+        return max(self.counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+
+    def overlap(self, other: "Histogram") -> float:
+        """Fraction of probability mass shared with another histogram.
+
+        1.0 means identical distributions (the paper's Fig. 13 case, where
+        rdtscp cannot separate L1 from L2 hits); near 0.0 means cleanly
+        separable (Fig. 3, pointer chasing).
+        """
+        if self.total == 0 or other.total == 0:
+            return 0.0
+        edges = set(self.counts) | set(other.counts)
+        shared = 0.0
+        for edge in edges:
+            p = self.counts.get(edge, 0) / self.total
+            q = other.counts.get(edge, 0) / other.total
+            shared += min(p, q)
+        return shared
+
+
+def fraction_of_ones(bits: Sequence[int]) -> float:
+    """Fraction of 1 bits, the metric of Figures 6, 8, and 15."""
+    bits = list(bits)
+    if not bits:
+        return 0.0
+    return sum(1 for b in bits if b == 1) / len(bits)
+
+
+def best_fit_period(values: Sequence[float], min_period: int, max_period: int) -> int:
+    """Find the bit period that best explains an alternating-bit trace.
+
+    The paper fits the sending period empirically ("97 is the best fit
+    period of sending one bit for this trace", Fig. 7).  We replicate that
+    by scoring each candidate period by the variance of the per-phase
+    means of a square wave folded at that period: an alternating 0/1
+    signal folded at its true period has maximal phase contrast.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("cannot fit a period to an empty trace")
+    lo = max(1, min_period)
+    hi = min(max_period, len(values) // 2)
+    if hi < lo:
+        return max(lo, 1)
+    best_period = lo
+    best_score = -1.0
+    for period in range(lo, hi + 1):
+        double = 2 * period
+        phase0 = [v for i, v in enumerate(values) if (i % double) < period]
+        phase1 = [v for i, v in enumerate(values) if (i % double) >= period]
+        if not phase0 or not phase1:
+            continue
+        score = abs(mean(phase0) - mean(phase1))
+        if score > best_score:
+            best_score = score
+            best_period = period
+    return best_period

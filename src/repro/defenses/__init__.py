@@ -1,0 +1,37 @@
+"""Defenses against the LRU channels (paper Section IX).
+
+* :mod:`repro.defenses.policy_swap` — replace LRU with FIFO/Random and
+  measure the cost (Figure 9).
+* :mod:`repro.defenses.pl_fix` — the PL cache LRU-state lock (Figure 11).
+* :mod:`repro.defenses.detector` — perf-counter detection and why it
+  fails against LRU channels (Section X).
+
+The InvisiSpec-style "invisible speculation" defense lives on
+:class:`repro.cache.hierarchy.CacheHierarchy` as the
+``invisible_speculation`` flag; DAWG-style state partitioning is
+:class:`repro.replacement.PartitionedPLRU`.
+"""
+
+from repro.defenses.detector import DetectionVerdict, MissRateDetector
+from repro.defenses.pl_fix import PLCacheTrace, run_pl_cache_attack
+from repro.defenses.policy_swap import (
+    DefenseComparison,
+    PolicyEvaluation,
+    compare_policies,
+    evaluate_policy,
+    gem5_like_config,
+    geometric_mean_overhead,
+)
+
+__all__ = [
+    "DefenseComparison",
+    "DetectionVerdict",
+    "MissRateDetector",
+    "PLCacheTrace",
+    "PolicyEvaluation",
+    "compare_policies",
+    "evaluate_policy",
+    "gem5_like_config",
+    "geometric_mean_overhead",
+    "run_pl_cache_attack",
+]

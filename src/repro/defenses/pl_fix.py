@@ -1,0 +1,151 @@
+"""Defense 2: hardening the PL cache's LRU state (Section IX-B, Fig. 11).
+
+The attack scenario of Figure 11: the sender *locks* its line in a PL
+cache (so the line itself is protected from eviction), then leaks by
+simply accessing it — the access is a cache **hit**, and in the original
+PL design hits still update the PLRU tree, redirecting the victim
+pointer from the locked way onto one of the receiver's lines.  The
+receiver detects the redirect with an Algorithm-2-style sequence:
+
+1. *Init*: access its 7 lines L0..L6 sequentially.  With the locked
+   line resident, a full sequential pass deterministically parks the
+   Tree-PLRU victim on the locked way.
+2. *Encode*: the sender accesses (hits) its locked line iff the bit
+   is 1, which flips the victim pointer onto a receiver way.
+3. *Decode*: access one extra line F.  Bit 0 ⇒ the chosen victim is
+   locked ⇒ F is handled *uncached* and nothing changes.  Bit 1 ⇒ F
+   evicts a receiver line.
+4. *Probe*: time all 7 lines; any miss ⇒ bit 1.  Flush F to restore
+   the canonical state.
+
+With the hardened design (``lock_lru=True`` — the blue boxes in the
+paper's Figure 10) the sender's hit no longer updates the tree, every F
+is handled uncached, and the receiver observes hits forever: the
+channel is closed (Figure 11 bottom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cache.config import HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.pl_cache import PLCache
+from repro.channels.addresses import lines_for_set
+from repro.common.errors import ProtocolError
+from repro.common.rng import RngLike, make_rng, spawn_rng
+from repro.sim.specs import INTEL_E5_2690
+from repro.timing.measurement import observed_chase_latency
+from repro.timing.tsc import INTEL_TSC, TimestampCounter
+
+
+@dataclass
+class PLCacheTrace:
+    """Receiver observations against a PL cache (one point per bit).
+
+    Attributes:
+        lock_lru: Whether the hardened design was used.
+        sent_bits: Ground-truth bits the sender encoded.
+        latencies: The receiver's slowest timed probe per bit — the
+            signal plotted in Figure 11.
+        decoded_bits: Receiver's decoding (any probe miss = 1).
+        threshold: Hit/miss decision threshold used.
+    """
+
+    lock_lru: bool
+    sent_bits: List[int] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)
+    decoded_bits: List[int] = field(default_factory=list)
+    threshold: float = 0.0
+
+    def leak_accuracy(self) -> float:
+        """Fraction of bits the receiver decoded correctly.
+
+        ≈1.0 means the channel works (original design); ≈0.5 against a
+        random message — with every probe hitting — means it is closed.
+        """
+        if not self.sent_bits:
+            return 0.0
+        hits = sum(
+            1 for s, r in zip(self.sent_bits, self.decoded_bits) if s == r
+        )
+        return hits / len(self.sent_bits)
+
+    def all_hits(self) -> bool:
+        """True when every probe stayed below the threshold (Fig 11 bottom)."""
+        return all(lat <= self.threshold for lat in self.latencies)
+
+
+def run_pl_cache_attack(
+    lock_lru: bool,
+    message: List[int],
+    target_set: int = 1,
+    rng: RngLike = None,
+) -> PLCacheTrace:
+    """Drive the locked-line LRU attack against a PL cache.
+
+    Args:
+        lock_lru: False = original PL design (leaks); True = hardened
+            design with frozen replacement state for locked lines.
+        message: Bits the sender encodes, one receiver round each.
+        target_set: The L1 set carrying the channel.
+        rng: Seed for the timer-noise model.
+
+    Returns:
+        The receiver's per-bit trace (Figure 11's data).
+    """
+    if any(b not in (0, 1) for b in message):
+        raise ProtocolError("message must be bits")
+    r = make_rng(rng)
+    config: HierarchyConfig = INTEL_E5_2690.hierarchy
+    pl_l1 = PLCache(config.l1, lock_lru=lock_lru, rng=spawn_rng(r, "pl"))
+    hierarchy = CacheHierarchy(config, rng=spawn_rng(r, "h"), l1_cache=pl_l1)
+    tsc = TimestampCounter(INTEL_TSC, rng=spawn_rng(r, "tsc"))
+
+    ways = config.l1.ways
+    lines = lines_for_set(config.l1, target_set, ways + 2)
+    sender_line = lines[0]
+    receiver_lines = lines[1:ways]  # L0..L6: one less than the ways
+    fresh_line = lines[ways]  # F: the replacement trigger
+
+    # Sender faults its line in and locks it (PL-cache lock request).
+    hierarchy.load(sender_line, thread_id=1, address_space=1, count=False)
+    pl_l1.lock_line(sender_line, address_space=1, thread_id=1)
+    # Receiver warms its lines; they land in the remaining ways.
+    for address in receiver_lines:
+        hierarchy.load(address, thread_id=0, address_space=0, count=False)
+
+    l1_hit = config.l1.hit_latency
+    l2_hit = config.l2.hit_latency
+    # Probes are reported as chase totals (7 local hits + target), so
+    # the threshold sits midway between the all-hit and one-miss totals.
+    threshold = 7 * l1_hit + (l1_hit + l2_hit) / 2.0 + tsc.spec.overhead_mean
+    trace = PLCacheTrace(lock_lru=lock_lru, threshold=threshold)
+
+    for bit in message:
+        # Init: sequential pass parks the PLRU victim on the locked way.
+        for address in receiver_lines:
+            hierarchy.load(address, thread_id=0, address_space=0)
+        # Encode: the sender's *hit* on its locked line.
+        if bit == 1:
+            hierarchy.load(sender_line, thread_id=1, address_space=1)
+        # Decode: force one replacement decision.
+        hierarchy.load(fresh_line, thread_id=0, address_space=0)
+        # Probe: time every line; report the slowest one (the signal).
+        slowest = 0.0
+        any_miss = False
+        for address in receiver_lines:
+            outcome = hierarchy.load(address, thread_id=0, address_space=0)
+            observed = observed_chase_latency(
+                tsc, 7 * l1_hit + outcome.latency, chain_length=7
+            )
+            slowest = max(slowest, observed)
+            if not outcome.l1_hit:
+                any_miss = True
+        trace.sent_bits.append(bit)
+        trace.latencies.append(slowest)
+        trace.decoded_bits.append(1 if any_miss else 0)
+        # Restore the canonical resident set for the next round.
+        hierarchy.flush_address(fresh_line, thread_id=0)
+    return trace

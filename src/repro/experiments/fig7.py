@@ -1,0 +1,117 @@
+"""Figure 7 — AMD EPYC 7571 hyper-threaded traces with moving average.
+
+Section VI: the AMD TSC readout is so coarse that raw observations are
+unreadable; the receiver smooths with a moving average whose window is
+the best-fit bit period, revealing a wave-like pattern when the sender
+alternates 0/1.
+
+Two panels, as in the paper:
+
+* Algorithm 1 with the sender and receiver as two *threads in one
+  address space* (pthreads) — required on AMD because the linear-address
+  utag way predictor defeats cross-address-space shared-memory probing
+  (Section VI-B).
+* Algorithm 2 with two separate processes (no shared memory needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.channels.algorithm1 import SharedMemoryLRUChannel
+from repro.channels.algorithm2 import NoSharedMemoryLRUChannel
+from repro.channels.protocol import ChannelRun, CovertChannelProtocol, ProtocolConfig
+from repro.common.stats import best_fit_period, mean, moving_average
+from repro.experiments.base import ExperimentResult, register
+from repro.sim.machine import Machine
+from repro.sim.specs import AMD_EPYC_7571
+
+
+@dataclass
+class AMDTrace:
+    """One panel of Figure 7."""
+
+    algorithm: int
+    run: ChannelRun
+    fitted_period: int
+    smoothed: List[float]
+    wave_amplitude: float  # peak-to-trough of the smoothed wave
+
+
+def amd_trace(
+    algorithm: int,
+    bits: int = 10,
+    ts: float = 1.0e5,
+    tr: float = 1000.0,
+    rng: int = 17,
+) -> AMDTrace:
+    """Run the AMD alternating-bit experiment for one algorithm.
+
+    Uses the paper's parameters directly: Ts = 10⁵ cycles, Tr = 10³,
+    i.e. ~100 receiver samples per bit — the regime where single AMD
+    samples are unreadable but the moving average resolves the wave.
+    """
+    machine = Machine(AMD_EPYC_7571, rng=rng)
+    if algorithm == 1:
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=8
+        )
+        # pthreads: one address space (utag-compatible).
+        config = ProtocolConfig(ts=ts, tr=tr, sender_space=0)
+    else:
+        channel = NoSharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=5
+        )
+        config = ProtocolConfig(ts=ts, tr=tr, sender_space=1)
+    protocol = CovertChannelProtocol(machine, channel, config)
+    message = [i % 2 for i in range(bits)]
+    run = protocol.run_hyper_threaded(message)
+
+    latencies = run.latencies()
+    nominal = max(2, int(ts / tr))
+    period = best_fit_period(
+        latencies, min_period=max(2, nominal // 2), max_period=nominal * 2
+    )
+    smoothed = moving_average(latencies, window=period)
+    amplitude = (max(smoothed) - min(smoothed)) if smoothed else 0.0
+    return AMDTrace(
+        algorithm=algorithm,
+        run=run,
+        fitted_period=period,
+        smoothed=smoothed,
+        wave_amplitude=amplitude,
+    )
+
+
+@register("fig7")
+def run_fig7() -> ExperimentResult:
+    """Regenerate Figure 7 (trace summaries)."""
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="AMD EPYC 7571 hyper-threaded traces (moving average)",
+        columns=[
+            "algorithm", "samples", "fitted period",
+            "raw latency spread", "smoothed wave amplitude",
+        ],
+        paper_expectation=(
+            "Raw samples unreadable (coarse TSC); the moving average at "
+            "the best-fit period shows a clear wave; effective rate "
+            "~20-25 Kbps, an order of magnitude below Intel."
+        ),
+        notes="Paper-faithful Ts=1e5, Tr=1e3.",
+    )
+    for algorithm in (1, 2):
+        trace = amd_trace(algorithm)
+        lat = trace.run.latencies()
+        spread = max(lat) - min(lat) if lat else 0.0
+        result.rows.append(
+            [
+                f"Alg {algorithm}",
+                len(lat),
+                trace.fitted_period,
+                round(spread, 1),
+                round(trace.wave_amplitude, 2),
+            ]
+        )
+    return result

@@ -1,0 +1,173 @@
+"""Table I — probability of line 0 being evicted under (P)LRU.
+
+The paper's own in-house-simulator experiment, reproduced exactly: for
+each policy (LRU, Tree-PLRU, Bit-PLRU), access sequence (Sequence 1 =
+Algorithm 1's 0..8 in order; Sequence 2 = Algorithm 2's 0..7 with random
+insertions of line x), initial condition (random vs sequential), and
+loop-iteration count, measure how often line 0 has been evicted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cache.cache_set import CacheSet
+from repro.common.rng import RngLike, make_rng, spawn_rng
+from repro.experiments.base import ExperimentResult, register
+from repro.replacement import make_policy
+
+WAYS = 8
+#: "Line" identifiers: 0..7 are the base lines, 8 is the extra line
+#: (Sequence 1) and X the random-insertion line (Sequence 2).
+LINE_X = 100
+LINE_8 = 8
+
+
+class _SetModel:
+    """A single 8-way set tracking which logical line occupies which way."""
+
+    def __init__(self, policy_name: str, rng):
+        policy = make_policy(
+            policy_name, WAYS, **({"rng": rng} if policy_name == "random" else {})
+        )
+        self.set = CacheSet(WAYS, policy)
+        self._tags: Dict[int, int] = {}
+
+    def access(self, line: int) -> None:
+        """Access a logical line: hit updates state, miss replaces."""
+        way = self.set.lookup(line)
+        if way is not None:
+            self.set.touch(way, is_fill=False)
+            return
+        victim = self.set.choose_victim()
+        self.set.install(victim, tag=line, address=line)
+        self.set.touch(victim, is_fill=True)
+
+    def contains(self, line: int) -> bool:
+        return self.set.lookup(line) is not None
+
+
+def _warmup(model: _SetModel, condition: str, rng) -> None:
+    """Establish the paper's 'random' or 'sequential' initial condition."""
+    if condition == "random":
+        # Random access order over lines 0-7 plus occasional others.
+        lines = list(range(8)) + [LINE_X]
+        for _ in range(32):
+            model.access(rng.choice(lines))
+        # Ensure line 0 is resident so eviction is meaningful.
+        model.access(0)
+    else:
+        # Sequential: lines 0-7 in order with 50%-probability insertions
+        # of line x (the paper's Sequence-2-style warmup).  Two passes:
+        # enough to establish sequential ordering without fully
+        # pre-converging every policy to its limit cycle (which would
+        # erase the iteration-count dependence Table I measures).
+        for _ in range(2):
+            for line in range(8):
+                model.access(line)
+                if rng.random() < 0.5:
+                    model.access(LINE_X)
+
+
+def _run_sequence(model: _SetModel, sequence: int, rng) -> None:
+    """One loop iteration of Sequence 1 or Sequence 2."""
+    if sequence == 1:
+        for line in range(9):  # 0..8 in order
+            model.access(line)
+    else:
+        # 0..7 with 50%-probability insertions of x; the paper assumes
+        # "line x will be accessed at least once", so force one
+        # insertion if the coin flips all came up tails.
+        inserted = False
+        for line in range(8):
+            model.access(line)
+            if line < 7 and rng.random() < 0.5:
+                model.access(LINE_X)
+                inserted = True
+        if not inserted:
+            model.access(LINE_X)
+
+
+def eviction_probability(
+    policy: str,
+    sequence: int,
+    condition: str,
+    iterations: int,
+    trials: int = 2000,
+    rng: RngLike = None,
+) -> float:
+    """P(line 0 evicted after ``iterations`` loop passes)."""
+    master = make_rng(rng)
+    evicted = 0
+    for _ in range(trials):
+        trial_rng = spawn_rng(master, "trial")
+        model = _SetModel(policy, spawn_rng(trial_rng, "policy"))
+        _warmup(model, condition, trial_rng)
+        for _ in range(iterations):
+            _run_sequence(model, sequence, trial_rng)
+        if not model.contains(0):
+            evicted += 1
+    return evicted / trials
+
+
+#: The paper's Table I cells, for side-by-side comparison in the output.
+PAPER_TABLE1: Dict[Tuple[str, int, str, int], float] = {
+    ("lru", 1, "random", 1): 1.00, ("lru", 2, "random", 1): 1.00,
+    ("tree-plru", 1, "random", 1): 0.504, ("tree-plru", 2, "random", 1): 0.627,
+    ("bit-plru", 1, "random", 1): 0.385, ("bit-plru", 2, "random", 1): 0.555,
+    ("tree-plru", 1, "random", 2): 0.828, ("tree-plru", 2, "random", 2): 0.656,
+    ("bit-plru", 1, "random", 2): 0.556, ("bit-plru", 2, "random", 2): 0.697,
+    ("tree-plru", 1, "random", 3): 0.992, ("tree-plru", 2, "random", 3): 0.642,
+    ("bit-plru", 1, "random", 3): 0.673, ("bit-plru", 2, "random", 3): 0.801,
+    ("tree-plru", 1, "random", 8): 1.00, ("tree-plru", 2, "random", 8): 0.62,
+    ("bit-plru", 1, "random", 8): 1.00, ("bit-plru", 2, "random", 8): 0.99,
+    ("tree-plru", 1, "sequential", 1): 0.909, ("tree-plru", 2, "sequential", 1): 0.756,
+    ("bit-plru", 1, "sequential", 1): 0.604, ("bit-plru", 2, "sequential", 1): 0.610,
+    ("tree-plru", 1, "sequential", 2): 1.00, ("tree-plru", 2, "sequential", 2): 0.659,
+    ("bit-plru", 1, "sequential", 2): 0.630, ("bit-plru", 2, "sequential", 2): 0.641,
+    ("tree-plru", 1, "sequential", 3): 1.00, ("tree-plru", 2, "sequential", 3): 0.640,
+    ("bit-plru", 1, "sequential", 3): 0.673, ("bit-plru", 2, "sequential", 3): 0.703,
+    ("tree-plru", 1, "sequential", 8): 1.00, ("tree-plru", 2, "sequential", 8): 0.62,
+    ("bit-plru", 1, "sequential", 8): 1.00, ("bit-plru", 2, "sequential", 8): 0.99,
+}
+
+
+@register("table1")
+def run_table1(trials: int = 2000, rng: RngLike = 1) -> ExperimentResult:
+    """Regenerate Table I."""
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Probability of line 0 being evicted with PLRU",
+        columns=[
+            "init", "iters", "policy", "sequence", "ours", "paper",
+        ],
+        paper_expectation=(
+            "LRU always evicts line 0; sequential init gives higher "
+            "eviction probability than random; Tree-PLRU Seq-1 reaches "
+            "100% by ~3 iterations; Seq-2 plateaus near 62% (Tree) / "
+            "99% (Bit)."
+        ),
+    )
+    for condition in ("random", "sequential"):
+        for iterations in (1, 2, 3, 8):
+            for policy in ("lru", "tree-plru", "bit-plru"):
+                for sequence in (1, 2):
+                    ours = eviction_probability(
+                        policy, sequence, condition, iterations,
+                        trials=trials, rng=rng,
+                    )
+                    paper = PAPER_TABLE1.get(
+                        (policy, sequence, condition, iterations),
+                        1.00 if policy == "lru" else None,
+                    )
+                    result.rows.append(
+                        [
+                            condition,
+                            iterations,
+                            policy,
+                            f"Seq {sequence}",
+                            round(ours, 3),
+                            paper if paper is not None else "-",
+                        ]
+                    )
+    return result

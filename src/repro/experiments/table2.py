@@ -1,0 +1,49 @@
+"""Table II — latency of cache accesses per microarchitecture.
+
+The paper's Table II is a measured property of the hardware; in our
+reproduction it is encoded in the machine specs and *verified* here by
+actually pushing loads through each simulated hierarchy and reporting
+where they hit and how long they took.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, register
+from repro.sim.machine import Machine
+from repro.sim.specs import ALL_SPECS
+
+#: Paper's Table II values (cycles).
+PAPER_TABLE2 = {
+    "Intel Xeon E5-2690": ("4-5", "12"),
+    "Intel Xeon E3-1245 v5": ("4-5", "12"),
+    "AMD EPYC 7571": ("4-5", "17"),
+}
+
+
+@register("table2")
+def run_table2() -> ExperimentResult:
+    """Measure L1D and L2 hit latencies on each machine preset."""
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Latency of cache access (cycles)",
+        columns=["machine", "L1D ours", "L1D paper", "L2 ours", "L2 paper"],
+        paper_expectation="L1D 4-5 cycles everywhere; L2 12 (Intel) / 17 (AMD).",
+    )
+    for spec in ALL_SPECS:
+        machine = Machine(spec, rng=1)
+        address = 9 * 64
+        # First load misses to memory and fills L1+L2.
+        machine.hierarchy.load(address, count=False)
+        l1_latency = machine.hierarchy.load(address, count=False).latency
+        # Evict from L1 only (fill the set with conflicting lines), then
+        # measure an L2 hit.
+        stride = spec.hierarchy.l1.num_sets * 64
+        for i in range(1, spec.hierarchy.l1.ways + 1):
+            machine.hierarchy.load(address + (1 << 24) + i * stride, count=False)
+        outcome = machine.hierarchy.load(address, count=False)
+        l2_latency = outcome.latency
+        l1_paper, l2_paper = PAPER_TABLE2[spec.name]
+        result.rows.append(
+            [spec.name, l1_latency, l1_paper, l2_latency, l2_paper]
+        )
+    return result

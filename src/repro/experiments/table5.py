@@ -1,0 +1,96 @@
+"""Table V — latency of the sender's encoding operation.
+
+The LRU channel's sender encodes with (at most) one cache *hit*, while
+Flush+Reload senders must take a miss to the level their channel works
+at.  We measure the encode cost of each channel on each machine preset:
+
+* F+R (mem): the shared line was flushed to memory, so encoding is a
+  full memory miss.
+* F+R (L1): the line was evicted from L1 only; encoding is an L2 hit.
+* LRU (Alg 1&2): the line is resident; encoding is an L1 hit.
+
+The paper's numbers include loop bookkeeping (victim-address
+computation); we report the raw access latency plus the same fixed
+bookkeeping cost for every channel, so the *ordering and ratios* are the
+comparable quantities.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.flush_reload import FlushReloadChannel
+from repro.channels.algorithm1 import SharedMemoryLRUChannel
+from repro.experiments.base import ExperimentResult, register
+from repro.sim.machine import Machine
+from repro.sim.specs import ALL_SPECS
+
+#: Cycles of loop bookkeeping (address arithmetic etc.) per encode,
+#: identical across channels, mirroring the paper's measurement setup.
+BOOKKEEPING = 27.0
+
+#: Paper's Table V (cycles).
+PAPER_TABLE5 = {
+    "Intel Xeon E5-2690": (336, 35, 31),
+    "Intel Xeon E3-1245 v5": (288, 40, 35),
+    "AMD EPYC 7571": (232, 56, 52),
+}
+
+
+@register("table5")
+def run_table5() -> ExperimentResult:
+    """Measure per-channel encode latency on every machine preset."""
+    result = ExperimentResult(
+        experiment_id="table5",
+        title="Latency of encoding (cycles)",
+        columns=[
+            "machine",
+            "F+R(mem) ours", "paper",
+            "F+R(L1) ours", "paper",
+            "LRU ours", "paper",
+        ],
+        paper_expectation=(
+            "LRU < F+R(L1) << F+R(mem): hit-encoding is an order of "
+            "magnitude cheaper than the flush-to-memory encode."
+        ),
+        notes=(
+            "Ours = access latency + fixed bookkeeping; absolute values "
+            "are simulator latencies, ordering is the reproduced claim."
+        ),
+    )
+    for spec in ALL_SPECS:
+        shared = 3 * 64
+
+        # F+R (mem): receiver flushed the line; sender encode = memory miss.
+        machine = Machine(spec, rng=1)
+        fr_mem = FlushReloadChannel(machine.hierarchy, shared, variant="mem")
+        machine.hierarchy.load(shared, count=False)
+        fr_mem.receiver_flush()
+        frmem_cost = fr_mem.sender_encode(1).cycles + BOOKKEEPING
+
+        # F+R (L1): receiver evicted from L1; sender encode = L2 hit.
+        machine = Machine(spec, rng=1)
+        fr_l1 = FlushReloadChannel(machine.hierarchy, shared, variant="l1")
+        machine.hierarchy.load(shared, count=False)
+        fr_l1.receiver_flush()
+        frl1_cost = fr_l1.sender_encode(1).cycles + BOOKKEEPING
+
+        # LRU: line 0 resident; sender encode = L1 hit.
+        machine = Machine(spec, rng=1)
+        channel = SharedMemoryLRUChannel.build(
+            spec.hierarchy.l1, target_set=1, d=8
+        )
+        machine.hierarchy.load(channel.layout.sender_line, count=False)
+        outcome = machine.hierarchy.load(
+            channel.layout.sender_line, thread_id=1, address_space=1
+        )
+        lru_cost = outcome.latency + BOOKKEEPING
+
+        p_mem, p_l1, p_lru = PAPER_TABLE5[spec.name]
+        result.rows.append(
+            [
+                spec.name,
+                round(frmem_cost), p_mem,
+                round(frl1_cost), p_l1,
+                round(lru_cost), p_lru,
+            ]
+        )
+    return result

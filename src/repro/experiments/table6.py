@@ -1,0 +1,144 @@
+"""Table VI — cache miss rate of the sender process.
+
+The stealthiness argument: an LRU-channel sender encodes with cache
+hits, so its miss-rate footprint is indistinguishable from (or below)
+benign co-located workloads, while the Flush+Reload sender's misses
+stand out.  We reproduce the table's rows by running each channel in
+steady state and reading the sender thread's hardware counters, plus
+the two benign baselines (sender sharing with a gcc-like workload, and
+sender alone).
+
+Our hierarchy is two-level (L1D + L2, then memory), so the table
+reports L1D and L2 miss rates; the paper's LLC column has no simulated
+counterpart and its role (F+R(mem) ≈ 90 % vs ≈ 1 % for the others) is
+played by our L2 column.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.attacks.flush_reload import FlushReloadChannel
+from repro.channels.algorithm1 import SharedMemoryLRUChannel
+from repro.channels.algorithm2 import NoSharedMemoryLRUChannel
+from repro.channels.evaluation import random_message
+from repro.channels.protocol import CovertChannelProtocol, ProtocolConfig
+from repro.experiments.base import ExperimentResult, register
+from repro.sim.machine import Machine
+from repro.sim.ops import Access, Compute
+from repro.sim.specs import INTEL_E3_1245V5, INTEL_E5_2690
+from repro.sim.thread import SimThread
+from repro.workloads.spec_like import get_profile
+from repro.workloads.trace import record
+
+SENDER = 1
+
+
+def _sender_rates(machine: Machine) -> Tuple[float, float]:
+    return (
+        machine.l1.counters.miss_rate(SENDER),
+        machine.l2.counters.miss_rate(SENDER),
+    )
+
+
+def _lru_channel_rates(spec, algorithm: int, rng: int) -> Tuple[float, float]:
+    """Steady-state sender miss rates for LRU Algorithm 1 or 2."""
+    machine = Machine(spec, rng=rng)
+    if algorithm == 1:
+        channel = SharedMemoryLRUChannel.build(spec.hierarchy.l1, 1, d=8)
+    else:
+        channel = NoSharedMemoryLRUChannel.build(spec.hierarchy.l1, 1, d=4)
+    protocol = CovertChannelProtocol(
+        machine, channel, ProtocolConfig(ts=6000, tr=600)
+    )
+    protocol.run_hyper_threaded(random_message(48, rng=rng))
+    return _sender_rates(machine)
+
+
+def _flush_reload_rates(spec, variant: str, rng: int) -> Tuple[float, float]:
+    """Steady-state sender miss rates for an F+R channel."""
+    machine = Machine(spec, rng=rng)
+    channel = FlushReloadChannel(
+        machine.hierarchy, shared_address=3 * 64, variant=variant
+    )
+    message = random_message(256, rng=rng)
+    for bit in message:
+        channel.transfer_bit(bit)
+        # The sender's surrounding loop does ordinary (hitting) work
+        # too, as real senders do — same loop body for every channel.
+        for i in range(8):
+            machine.hierarchy.load(1 << 20 | (i * 64), thread_id=SENDER)
+    return _sender_rates(machine)
+
+
+def _sender_program(channel, repeats: int):
+    def program():
+        for i in range(repeats):
+            for address in channel.sender_addresses(i % 2):
+                yield Access(address)
+            for j in range(8):
+                yield Access(1 << 20 | (j * 64))
+            yield Compute(20.0)
+
+    return program
+
+
+def _gcc_program(addresses):
+    def program():
+        for address in addresses:
+            yield Access(address)
+
+    return program
+
+
+def _baseline_rates(spec, with_gcc: bool, rng: int) -> Tuple[float, float]:
+    """Sender running alone, or co-located with a gcc-like workload."""
+    machine = Machine(spec, rng=rng)
+    channel = SharedMemoryLRUChannel.build(spec.hierarchy.l1, 1, d=8)
+    machine.hierarchy.warm(channel.layout.receiver_lines, thread_id=SENDER)
+    threads = [
+        SimThread(
+            "sender", _sender_program(channel, 600), thread_id=SENDER,
+            address_space=1,
+        )
+    ]
+    if with_gcc:
+        trace = record(
+            get_profile("gcc").generate(6000, rng=rng), 6000
+        )
+        threads.append(
+            SimThread("gcc", _gcc_program(trace), thread_id=2, address_space=2)
+        )
+    machine.hyper_threaded(threads).run()
+    return _sender_rates(machine)
+
+
+@register("table6")
+def run_table6(rng: int = 7) -> ExperimentResult:
+    """Regenerate Table VI on both Intel presets."""
+    result = ExperimentResult(
+        experiment_id="table6",
+        title="Cache miss rate of the sender process",
+        columns=["machine", "scenario", "L1D miss", "L2 miss"],
+        paper_expectation=(
+            "LRU senders' L1D miss rate (0.01-0.03%) is at or below the "
+            "benign sender-only/sender&gcc baselines and an order of "
+            "magnitude below F+R(mem)'s deeper-level misses; detectors "
+            "counting sender misses cannot see the LRU channel."
+        ),
+        notes="Two-level hierarchy: the paper's LLC contrast appears in L2.",
+    )
+    for spec in (INTEL_E5_2690, INTEL_E3_1245V5):
+        scenarios = [
+            ("F+R (mem)", _flush_reload_rates(spec, "mem", rng)),
+            ("F+R (L1)", _flush_reload_rates(spec, "l1", rng)),
+            ("L1 LRU Alg.1", _lru_channel_rates(spec, 1, rng)),
+            ("L1 LRU Alg.2", _lru_channel_rates(spec, 2, rng)),
+            ("sender & gcc", _baseline_rates(spec, True, rng)),
+            ("sender only", _baseline_rates(spec, False, rng)),
+        ]
+        for label, (l1, l2) in scenarios:
+            result.rows.append(
+                [spec.name, label, f"{l1:.2%}", f"{l2:.2%}"]
+            )
+    return result

@@ -1,0 +1,16 @@
+"""Performance modeling: hardware counters and an analytic CPI model.
+
+Used by the defense evaluation (Figure 9) and the stealthiness
+comparison (Tables VI and VII).
+"""
+
+from repro.perf.counters import CounterBank, MissRateReport, MissRateRow
+from repro.perf.cpi import CPIModel, CPIModelConfig
+
+__all__ = [
+    "CPIModel",
+    "CPIModelConfig",
+    "CounterBank",
+    "MissRateReport",
+    "MissRateRow",
+]

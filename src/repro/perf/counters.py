@@ -1,0 +1,106 @@
+"""Hardware-performance-counter model (paper Tables VI and VII).
+
+The paper measures per-process cache miss rates with Linux ``perf`` to
+show that the LRU channel's sender is stealthier than Flush+Reload's.  We
+attach a :class:`CounterBank` to every cache level; it tallies references
+and misses per thread id, and :class:`MissRateReport` renders the same
+rows the paper reports (L1D/L2/LLC miss rate per process).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+
+@dataclass
+class CounterBank:
+    """Per-thread reference/miss counters for one cache level.
+
+    Attributes:
+        level_name: Label used in reports (``"L1D"``, ``"L2"``, ``"LLC"``).
+    """
+
+    level_name: str = "L1D"
+    references: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    misses: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, thread_id: int, miss: bool) -> None:
+        """Count one reference (and possibly one miss) for a thread."""
+        self.references[thread_id] += 1
+        if miss:
+            self.misses[thread_id] += 1
+
+    def miss_rate(self, thread_id: Optional[int] = None) -> float:
+        """Miss rate for one thread, or across all threads when None."""
+        if thread_id is None:
+            refs = sum(self.references.values())
+            miss = sum(self.misses.values())
+        else:
+            refs = self.references.get(thread_id, 0)
+            miss = self.misses.get(thread_id, 0)
+        if refs == 0:
+            return 0.0
+        return miss / refs
+
+    def total_references(self, thread_id: Optional[int] = None) -> int:
+        if thread_id is None:
+            return sum(self.references.values())
+        return self.references.get(thread_id, 0)
+
+    def total_misses(self, thread_id: Optional[int] = None) -> int:
+        if thread_id is None:
+            return sum(self.misses.values())
+        return self.misses.get(thread_id, 0)
+
+    def reset(self) -> None:
+        self.references.clear()
+        self.misses.clear()
+
+
+@dataclass
+class MissRateRow:
+    """One row of a Table VI / VII style report."""
+
+    label: str
+    l1d: float
+    l2: float
+    llc: float
+
+    def formatted(self) -> str:
+        return (
+            f"{self.label:<24s} L1D {self.l1d:7.2%}  "
+            f"L2 {self.l2:7.2%}  LLC {self.llc:7.2%}"
+        )
+
+
+class MissRateReport:
+    """Collects rows of per-scenario miss rates and renders them."""
+
+    def __init__(self, title: str = "Cache Miss Rate"):
+        self.title = title
+        self.rows: list = []
+
+    def add(self, label: str, l1d: float, l2: float, llc: float = 0.0) -> None:
+        self.rows.append(MissRateRow(label, l1d, l2, llc))
+
+    def add_from_banks(
+        self,
+        label: str,
+        banks: Iterable[CounterBank],
+        thread_id: Optional[int] = None,
+    ) -> None:
+        """Build a row directly from the hierarchy's counter banks."""
+        rates = {bank.level_name: bank.miss_rate(thread_id) for bank in banks}
+        self.add(
+            label,
+            rates.get("L1D", 0.0),
+            rates.get("L2", 0.0),
+            rates.get("LLC", 0.0),
+        )
+
+    def render(self) -> str:
+        lines = [self.title, "-" * len(self.title)]
+        lines.extend(row.formatted() for row in self.rows)
+        return "\n".join(lines)

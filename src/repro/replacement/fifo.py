@@ -1,0 +1,59 @@
+"""FIFO (Round-Robin) replacement — one of the paper's defenses.
+
+The key security property (Section IX-A): FIFO state is updated **only on
+fills**, never on hits.  A sender signaling with cache hits therefore
+leaves no trace in the replacement state, which removes the LRU channel
+while still leaking the same information as classic (miss-based) cache
+channels would.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.replacement.base import ReplacementPolicy, check_way
+
+
+class FIFO(ReplacementPolicy):
+    """Round-robin victim pointer, advanced on every fill."""
+
+    name = "FIFO"
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        self._next_victim = 0
+
+    def touch(self, way: int) -> None:
+        """Hits do not move the pointer — FIFO ignores reuse.
+
+        The cache layer distinguishes hits from fills by calling
+        :meth:`on_fill` for fills; ``touch`` (hit path) is a no-op, which
+        is precisely the property that defeats hit-based LRU channels.
+        """
+        check_way(self, way)
+
+    def on_fill(self, way: int) -> None:
+        """A new line entered ``way``; advance the round-robin pointer."""
+        check_way(self, way)
+        if way == self._next_victim:
+            self._next_victim = (self._next_victim + 1) % self.ways
+
+    def victim(self, valid: Optional[Sequence[bool]] = None) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        return self._next_victim
+
+    def state_snapshot(self) -> Tuple[int]:
+        return (self._next_victim,)
+
+    def state_restore(self, snapshot: Tuple[int]) -> None:
+        (pointer,) = snapshot
+        if not 0 <= pointer < self.ways:
+            raise ValueError(f"invalid FIFO snapshot {snapshot!r}")
+        self._next_victim = pointer
+
+    @property
+    def state_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.ways)))

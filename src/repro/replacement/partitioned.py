@@ -1,0 +1,102 @@
+"""DAWG-style partitioned Tree-PLRU (paper Section IX-B).
+
+DAWG (Kiriansky et al.) partitions both the cache *ways* and the
+*Tree-PLRU state* between protection domains.  The paper highlights DAWG
+as the one prior design that considered the replacement state.  We model
+it as a policy that owns one independent Tree-PLRU instance per domain,
+each confined to that domain's way range; an access from one domain can
+never perturb another domain's replacement state, closing the LRU channel
+between domains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.replacement.base import ReplacementPolicy
+from repro.replacement.tree_plru import TreePLRU
+
+
+class PartitionedPLRU(ReplacementPolicy):
+    """Way- and state-partitioned PLRU across protection domains.
+
+    Args:
+        ways: Total associativity of the set.
+        domain_ways: Mapping from domain id to the number of contiguous
+            ways it owns.  Way ranges are assigned in ascending domain-id
+            order and must sum to ``ways``.  Each partition size must be a
+            power of two (Tree-PLRU constraint).
+    """
+
+    name = "Partitioned-PLRU"
+
+    def __init__(self, ways: int, domain_ways: Optional[Dict[int, int]] = None):
+        super().__init__(ways)
+        if domain_ways is None:
+            domain_ways = {0: ways}
+        if sum(domain_ways.values()) != ways:
+            raise ConfigurationError(
+                f"domain way counts {domain_ways} do not sum to {ways}"
+            )
+        self.domain_ways = dict(domain_ways)
+        self._base: Dict[int, int] = {}
+        self._trees: Dict[int, TreePLRU] = {}
+        base = 0
+        for domain in sorted(domain_ways):
+            count = domain_ways[domain]
+            self._base[domain] = base
+            self._trees[domain] = TreePLRU(count)
+            base += count
+        # Reverse map way -> domain for touch().
+        self._way_domain: List[int] = []
+        for domain in sorted(domain_ways):
+            self._way_domain.extend([domain] * domain_ways[domain])
+
+    def domain_of(self, way: int) -> int:
+        """Return the protection domain that owns a way."""
+        if not 0 <= way < self.ways:
+            raise ConfigurationError(f"way {way} out of range")
+        return self._way_domain[way]
+
+    def touch(self, way: int) -> None:
+        domain = self.domain_of(way)
+        self._trees[domain].touch(way - self._base[domain])
+
+    def victim(self, valid: Optional[Sequence[bool]] = None) -> int:
+        """Global victim (used only if the cache is not domain-aware)."""
+        return self.victim_for(min(self._trees), valid)
+
+    def victim_for(
+        self, domain: int, valid: Optional[Sequence[bool]] = None
+    ) -> int:
+        """Victim restricted to a domain's own ways.
+
+        Only the domain's slice of the validity mask is consulted, so one
+        domain's misses can never evict (or observe) another's lines.
+        """
+        if domain not in self._trees:
+            raise ConfigurationError(f"unknown domain {domain}")
+        base = self._base[domain]
+        count = self.domain_ways[domain]
+        sub_valid = None
+        if valid is not None:
+            sub_valid = list(valid[base : base + count])
+        return base + self._trees[domain].victim(sub_valid)
+
+    def state_snapshot(self) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+        return tuple(
+            (domain, tree.state_snapshot())
+            for domain, tree in sorted(self._trees.items())
+        )
+
+    def state_restore(self, snapshot) -> None:
+        for domain, tree_state in snapshot:
+            self._trees[domain].state_restore(tree_state)
+
+    def reset(self) -> None:
+        self.__init__(self.ways, self.domain_ways)
+
+    @property
+    def state_bits(self) -> int:
+        return sum(tree.state_bits for tree in self._trees.values())

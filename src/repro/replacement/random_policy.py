@@ -1,0 +1,43 @@
+"""Random replacement — the paper's stateless defense.
+
+Random replacement keeps *no* state at all ("does not need any states in
+the cache", Section IX-A), so there is nothing for the LRU channel to
+modulate.  Victim choice is drawn uniformly from the valid ways.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.common.rng import RngLike, make_rng
+from repro.replacement.base import ReplacementPolicy, check_way
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim selection; zero bits of replacement state."""
+
+    name = "Random"
+
+    def __init__(self, ways: int, rng: RngLike = None):
+        super().__init__(ways)
+        self._rng = make_rng(rng)
+
+    def touch(self, way: int) -> None:
+        check_way(self, way)  # stateless: accesses leave no trace
+
+    def victim(self, valid: Optional[Sequence[bool]] = None) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        return self._rng.randrange(self.ways)
+
+    def state_snapshot(self) -> Tuple[()]:
+        return ()
+
+    def state_restore(self, snapshot: Tuple[()]) -> None:
+        if snapshot != ():
+            raise ValueError("Random policy carries no state")
+
+    @property
+    def state_bits(self) -> int:
+        return 0

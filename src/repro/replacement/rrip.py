@@ -1,0 +1,68 @@
+"""Static RRIP replacement (Jaleel et al., the paper's reference [34]).
+
+The paper notes that LLCs often use re-reference interval prediction
+rather than LRU because of reduced locality at the last level.  We include
+SRRIP so the hierarchy can model an LLC with a non-LRU policy, and so the
+defense evaluation can compare one more realistic alternative.
+
+Each way carries an M-bit re-reference prediction value (RRPV).  A fill
+inserts with RRPV = 2^M - 2 ("long"); a hit promotes to 0 ("near").  The
+victim is the lowest-index way with RRPV = 2^M - 1; if none exists, all
+RRPVs are incremented until one does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.replacement.base import ReplacementPolicy, check_way
+
+
+class SRRIP(ReplacementPolicy):
+    """Static re-reference interval prediction with M-bit RRPVs."""
+
+    name = "SRRIP"
+
+    def __init__(self, ways: int, rrpv_bits: int = 2):
+        super().__init__(ways)
+        if rrpv_bits < 1:
+            raise ConfigurationError(f"rrpv_bits must be >= 1, got {rrpv_bits}")
+        self.rrpv_bits = rrpv_bits
+        self._max_rrpv = (1 << rrpv_bits) - 1
+        # Power-on: everything looks distant so invalid ways fill first.
+        self._rrpv = [self._max_rrpv] * ways
+
+    def touch(self, way: int) -> None:
+        """Hit promotion: predicted near-immediate re-reference."""
+        check_way(self, way)
+        self._rrpv[way] = 0
+
+    def on_fill(self, way: int) -> None:
+        """Fill insertion: predicted long re-reference interval."""
+        check_way(self, way)
+        self._rrpv[way] = self._max_rrpv - 1
+
+    def victim(self, valid: Optional[Sequence[bool]] = None) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        while True:
+            for way, rrpv in enumerate(self._rrpv):
+                if rrpv == self._max_rrpv:
+                    return way
+            self._rrpv = [min(r + 1, self._max_rrpv) for r in self._rrpv]
+
+    def state_snapshot(self) -> Tuple[int, ...]:
+        return tuple(self._rrpv)
+
+    def state_restore(self, snapshot: Tuple[int, ...]) -> None:
+        if len(snapshot) != self.ways or any(
+            not 0 <= r <= self._max_rrpv for r in snapshot
+        ):
+            raise ValueError(f"invalid SRRIP snapshot {snapshot!r}")
+        self._rrpv = list(snapshot)
+
+    @property
+    def state_bits(self) -> int:
+        return self.ways * self.rrpv_bits

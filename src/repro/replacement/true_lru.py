@@ -1,0 +1,58 @@
+"""True LRU replacement.
+
+Tracks the exact age ordering of all ways (log2(N) bits per way in
+hardware).  The least recently used way is always the victim, so the
+channel access sequences in the paper behave deterministically: in an
+N-way set, accessing N+1 distinct lines always evicts the oldest
+(Section IV-C: "true LRU will always evict line 0").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.replacement.base import ReplacementPolicy, check_way
+
+
+class TrueLRU(ReplacementPolicy):
+    """Exact LRU: maintains a recency stack of way indices.
+
+    ``_stack[0]`` is the most recently used way; ``_stack[-1]`` the least.
+    """
+
+    name = "LRU"
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        # Power-on: way 0 is treated as most recent, way N-1 as least.
+        self._stack: List[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        check_way(self, way)
+        self._stack.remove(way)
+        self._stack.insert(0, way)
+
+    def victim(self, valid: Optional[Sequence[bool]] = None) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        return self._stack[-1]
+
+    def age_of(self, way: int) -> int:
+        """Return the recency rank of a way (0 = most recently used)."""
+        check_way(self, way)
+        return self._stack.index(way)
+
+    def state_snapshot(self) -> Tuple[int, ...]:
+        return tuple(self._stack)
+
+    def state_restore(self, snapshot: Tuple[int, ...]) -> None:
+        if sorted(snapshot) != list(range(self.ways)):
+            raise ValueError(f"invalid LRU snapshot {snapshot!r}")
+        self._stack = list(snapshot)
+
+    @property
+    def state_bits(self) -> int:
+        # log2(N) bits of age per way, as described in Section II-B.
+        return self.ways * max(1, math.ceil(math.log2(self.ways)))

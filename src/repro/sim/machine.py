@@ -1,0 +1,90 @@
+"""A simulated machine: one core's memory system, timer, and scheduler.
+
+``Machine`` is the top-level object experiments instantiate.  It owns a
+:class:`CacheHierarchy` built from a :class:`MachineSpec`, a matching
+:class:`TimestampCounter`, and constructs the requested sharing-mode
+scheduler over a set of thread programs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetcher import StridePrefetcher
+from repro.common.rng import RngLike, make_rng, spawn_rng
+from repro.sim.scheduler import HyperThreadedScheduler, TimeSlicedScheduler
+from repro.sim.specs import INTEL_E5_2690, MachineSpec
+from repro.sim.thread import SimThread
+from repro.timing.tsc import TimestampCounter
+
+
+class Machine:
+    """One simulated core with its cache hierarchy and timer.
+
+    Args:
+        spec: Platform description; defaults to the Intel Xeon E5-2690,
+            the paper's primary evaluation machine.
+        rng: Master seed for all stochastic components of this machine.
+        l1_cache: Optional pre-built L1 (PL cache, random-fill cache)
+            replacing the spec's default.
+        prefetcher: Optional stride prefetcher (Spectre noise model).
+        invisible_speculation: Enable the InvisiSpec-style defense.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec = INTEL_E5_2690,
+        rng: RngLike = None,
+        l1_cache: Optional[SetAssociativeCache] = None,
+        prefetcher: Optional[StridePrefetcher] = None,
+        invisible_speculation: bool = False,
+    ):
+        self.spec = spec
+        self.rng = make_rng(rng)
+        self.hierarchy = CacheHierarchy(
+            spec.hierarchy,
+            rng=spawn_rng(self.rng, "hierarchy"),
+            l1_cache=l1_cache,
+            prefetcher=prefetcher,
+            invisible_speculation=invisible_speculation,
+        )
+        self.tsc = TimestampCounter(spec.tsc, rng=spawn_rng(self.rng, "tsc"))
+
+    def hyper_threaded(
+        self, threads: Sequence[SimThread], jitter: float = 2.0
+    ) -> HyperThreadedScheduler:
+        """SMT scheduler over this machine's hierarchy."""
+        return HyperThreadedScheduler(
+            self.hierarchy,
+            threads,
+            rng=spawn_rng(self.rng, "smt"),
+            jitter=jitter,
+        )
+
+    def time_sliced(
+        self,
+        threads: Sequence[SimThread],
+        quantum: float = 4.0e6,
+        switch_cost: float = 2_000.0,
+    ) -> TimeSlicedScheduler:
+        """OS time-sharing scheduler over this machine's hierarchy."""
+        return TimeSlicedScheduler(
+            self.hierarchy,
+            threads,
+            quantum=quantum,
+            switch_cost=switch_cost,
+            rng=spawn_rng(self.rng, "slice"),
+        )
+
+    @property
+    def l1(self):
+        return self.hierarchy.l1
+
+    @property
+    def l2(self):
+        return self.hierarchy.l2
+
+    def __repr__(self) -> str:
+        return f"Machine({self.spec.name})"

@@ -1,0 +1,67 @@
+"""Operations a simulated thread can perform.
+
+Thread programs are Python generators that *yield* these operation
+records and receive the operation's result back at the yield point — a
+tiny coroutine ISA with exactly the four primitives the paper's attack
+code needs: memory accesses, busy-waiting, reading the time-stamp
+counter, and sleeping until a TSC deadline (Algorithm 3's receiver loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import AccessType
+
+
+@dataclass(frozen=True)
+class Access:
+    """A memory operation; the scheduler returns its AccessOutcome.
+
+    Attributes mirror :class:`repro.common.types.MemoryAccess` minus the
+    thread identity, which the scheduler fills in from the issuing
+    thread.
+    """
+
+    address: int
+    access_type: AccessType = AccessType.LOAD
+    locked: bool = False
+    unlock: bool = False
+    speculative: bool = False
+    count: bool = True
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Busy work costing a fixed number of cycles; returns None."""
+
+    cycles: float
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {self.cycles}")
+
+
+@dataclass(frozen=True)
+class ReadTSC:
+    """Read the current cycle counter; returns the thread's current time.
+
+    Costs ``READ_TSC_COST`` cycles, modeling the serializing timer read.
+    """
+
+
+@dataclass(frozen=True)
+class SleepUntil:
+    """Stall the thread until the given absolute cycle; returns None.
+
+    This is the ``while TSC < Tlast + Tr`` spin in Algorithm 3, modeled
+    as a scheduler-visible stall so other threads run during it.
+    """
+
+    cycle: float
+
+
+#: Cost of one ReadTSC, roughly the rdtsc+serialization cost.
+READ_TSC_COST = 10.0
+
+Operation = (Access, Compute, ReadTSC, SleepUntil)

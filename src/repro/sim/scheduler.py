@@ -1,0 +1,180 @@
+"""Core-sharing schedulers: hyper-threaded (SMT) and time-sliced.
+
+The paper evaluates both co-residency modes (Section III):
+
+* **Hyper-threaded** — sender and receiver run in parallel as SMT
+  siblings; their memory accesses interleave at fine (cycle) granularity.
+  We model SMT by letting each thread progress on its own cycle clock
+  and executing operations in global-time order, with a small random
+  arbitration jitter so interleavings vary run to run.
+
+* **Time-sliced** — the OS alternates the two threads on one core with a
+  scheduling quantum.  Only accesses in different slices interleave, so
+  only the receiver's first iteration after a context switch observes
+  the sender — the effect behind the paper's ~2 bps time-sliced rate
+  (Section V-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import SimulationError
+from repro.common.rng import RngLike, make_rng
+from repro.common.types import MemoryAccess
+from repro.sim.ops import Access, Compute, ReadTSC, READ_TSC_COST, SleepUntil
+from repro.sim.thread import SimThread
+
+
+class _SchedulerBase:
+    """Shared operation-execution machinery."""
+
+    def __init__(self, hierarchy: CacheHierarchy, rng: RngLike = None):
+        self.hierarchy = hierarchy
+        self.rng = make_rng(rng)
+
+    def _execute(self, thread: SimThread, op, now: float) -> float:
+        """Run one operation at time ``now``; return its cycle cost."""
+        if isinstance(op, Access):
+            outcome = self.hierarchy.access(
+                MemoryAccess(
+                    address=op.address,
+                    access_type=op.access_type,
+                    thread_id=thread.thread_id,
+                    address_space=thread.address_space,
+                    locked=op.locked,
+                    unlock=op.unlock,
+                    speculative=op.speculative,
+                ),
+                count=op.count,
+            )
+            thread.deliver(outcome)
+            return outcome.latency
+        if isinstance(op, Compute):
+            thread.deliver(None)
+            return op.cycles
+        if isinstance(op, ReadTSC):
+            thread.deliver(now)
+            return READ_TSC_COST
+        if isinstance(op, SleepUntil):
+            thread.deliver(None)
+            return max(0.0, op.cycle - now)
+        raise SimulationError(f"unknown operation {op!r}")
+
+
+class HyperThreadedScheduler(_SchedulerBase):
+    """SMT co-residency: threads interleave at access granularity.
+
+    Threads advance on per-thread clocks; at every step the thread with
+    the earliest clock issues its next operation against the shared
+    hierarchy.  A uniform arbitration jitter (0..``jitter`` cycles) is
+    added to each operation's completion, modeling SMT issue competition
+    and making interleavings stochastic, as on real SMT cores.
+    """
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        threads: Sequence[SimThread],
+        rng: RngLike = None,
+        jitter: float = 2.0,
+    ):
+        super().__init__(hierarchy, rng)
+        if not threads:
+            raise SimulationError("need at least one thread")
+        self.threads: List[SimThread] = list(threads)
+        self.jitter = jitter
+
+    def run(self, until_cycle: Optional[float] = None) -> float:
+        """Run until every thread finishes or the deadline passes.
+
+        Returns the cycle time of the last completed operation.
+        """
+        for thread in self.threads:
+            if not thread.alive:
+                thread.start()
+        last_time = 0.0
+        while True:
+            runnable = [t for t in self.threads if t.alive]
+            if not runnable:
+                break
+            thread = min(
+                runnable, key=lambda t: (t.ready_at, self.rng.random())
+            )
+            if until_cycle is not None and thread.ready_at >= until_cycle:
+                break
+            op = thread.next_operation()
+            if op is None:
+                continue
+            cost = self._execute(thread, op, thread.ready_at)
+            thread.ready_at += cost + self.rng.uniform(0.0, self.jitter)
+            last_time = max(last_time, thread.ready_at)
+        return last_time
+
+
+class TimeSlicedScheduler(_SchedulerBase):
+    """OS time-sharing of one core between two (or more) threads.
+
+    Args:
+        hierarchy: Shared memory system.
+        threads: Threads to alternate, in round-robin order.
+        quantum: Scheduling quantum in cycles (Linux CFS on a ~4 GHz
+            core gives quanta on the order of 10⁶-10⁷ cycles).
+        switch_cost: Direct cost of a context switch in cycles.
+        quantum_jitter_frac: Each slice's length is perturbed by up to
+            ±this fraction, modeling scheduler noise; the paper's traces
+            show uneven slicing ("threads do not get scheduled evenly").
+    """
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        threads: Sequence[SimThread],
+        quantum: float = 4.0e6,
+        switch_cost: float = 2_000.0,
+        quantum_jitter_frac: float = 0.2,
+        rng: RngLike = None,
+    ):
+        super().__init__(hierarchy, rng)
+        if quantum <= 0:
+            raise SimulationError(f"quantum must be > 0, got {quantum}")
+        self.threads: List[SimThread] = list(threads)
+        self.quantum = quantum
+        self.switch_cost = switch_cost
+        self.quantum_jitter_frac = quantum_jitter_frac
+
+    def _slice_length(self) -> float:
+        frac = self.quantum_jitter_frac
+        return self.quantum * (1.0 + self.rng.uniform(-frac, frac))
+
+    def run(self, until_cycle: float) -> float:
+        """Alternate threads in slices until the deadline.
+
+        A finished thread simply stops taking slices; the run continues
+        until ``until_cycle`` or until every thread has finished.
+        """
+        for thread in self.threads:
+            if not thread.alive:
+                thread.start()
+        now = 0.0
+        index = 0
+        while now < until_cycle and any(t.alive for t in self.threads):
+            thread = self.threads[index % len(self.threads)]
+            index += 1
+            if not thread.alive:
+                continue
+            slice_end = min(now + self._slice_length(), until_cycle)
+            # The thread resumes where it left off, but never in the past.
+            thread.ready_at = max(thread.ready_at, now)
+            while thread.alive and thread.ready_at < slice_end:
+                op = thread.next_operation()
+                if op is None:
+                    break
+                cost = self._execute(thread, op, thread.ready_at)
+                thread.ready_at += cost
+            # The core moves on at the end of the slice; a thread whose
+            # last operation overran (or that is sleeping far ahead)
+            # keeps its own ready_at and simply does nothing next slice.
+            now = slice_end + self.switch_cost
+        return now

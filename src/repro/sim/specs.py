@@ -1,0 +1,157 @@
+"""Machine presets for the paper's three tested CPUs (Table III).
+
+Each spec bundles cache geometry (Table III), per-level latencies
+(Table II), clock frequency, TSC behaviour, and vendor quirks (the AMD
+way predictor).  Everything the experiments vary between platforms lives
+here, so an experiment parameterized by a spec reproduces on all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.timing.tsc import AMD_TSC, INTEL_TSC, TSCSpec
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one evaluated platform.
+
+    Attributes:
+        name: Marketing model name, as in Table III.
+        microarchitecture: Vendor microarchitecture name.
+        frequency_ghz: Core clock, used to convert cycles to seconds
+            when reporting transmission rates (Table IV).
+        hierarchy: Cache geometry and latencies.
+        tsc: Time-stamp-counter behaviour (Intel fine, AMD coarse).
+    """
+
+    name: str
+    microarchitecture: str
+    frequency_ghz: float
+    hierarchy: HierarchyConfig
+    tsc: TSCSpec
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds on this machine."""
+        return cycles / (self.frequency_ghz * 1e9)
+
+    def bits_per_second(self, bits: int, cycles: float) -> float:
+        """Transmission rate for ``bits`` sent over ``cycles``."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be > 0, got {cycles}")
+        return bits / self.seconds(cycles)
+
+
+def _intel_hierarchy(l2_latency: float = 12.0) -> HierarchyConfig:
+    return HierarchyConfig(
+        l1=CacheConfig(
+            name="L1D",
+            size=32 * 1024,
+            ways=8,
+            line_size=64,
+            policy="tree-plru",
+            hit_latency=4.0,
+        ),
+        l2=CacheConfig(
+            name="L2",
+            size=256 * 1024,
+            ways=8,
+            line_size=64,
+            policy="tree-plru",
+            hit_latency=l2_latency,
+        ),
+        memory_latency=200.0,
+        flush_latency=250.0,
+        way_predictor=False,
+    )
+
+
+def _amd_hierarchy() -> HierarchyConfig:
+    return HierarchyConfig(
+        l1=CacheConfig(
+            name="L1D",
+            size=32 * 1024,
+            ways=8,
+            line_size=64,
+            policy="tree-plru",
+            hit_latency=4.0,
+        ),
+        l2=CacheConfig(
+            name="L2",
+            size=512 * 1024,
+            ways=8,
+            line_size=64,
+            policy="tree-plru",
+            hit_latency=17.0,
+        ),
+        memory_latency=220.0,
+        flush_latency=180.0,
+        way_predictor=True,
+    )
+
+
+def _intel_three_level_hierarchy() -> HierarchyConfig:
+    """E5-2690-like hierarchy with an explicit LLC slice.
+
+    Used by the LLC-channel experiments (paper footnote 1 and the
+    Section X comparison with concurrent LLC replacement-state work).
+    The LLC models one 2 MiB slice with SRRIP — the non-LRU policy the
+    paper notes LLCs use (reference [34]).
+    """
+    base = _intel_hierarchy(l2_latency=12.0)
+    return HierarchyConfig(
+        l1=base.l1,
+        l2=base.l2,
+        llc=CacheConfig(
+            name="LLC",
+            size=2 * 1024 * 1024,
+            ways=16,
+            line_size=64,
+            policy="srrip",
+            hit_latency=40.0,
+        ),
+        memory_latency=base.memory_latency,
+        flush_latency=base.flush_latency,
+        way_predictor=False,
+    )
+
+
+#: Intel Xeon E5-2690 — Sandy Bridge, 3.8 GHz (Table III).
+INTEL_E5_2690 = MachineSpec(
+    name="Intel Xeon E5-2690",
+    microarchitecture="Sandy Bridge",
+    frequency_ghz=3.8,
+    hierarchy=_intel_hierarchy(l2_latency=12.0),
+    tsc=INTEL_TSC,
+)
+
+#: Intel Xeon E3-1245 v5 — Skylake, 3.9 GHz (Table III).
+INTEL_E3_1245V5 = MachineSpec(
+    name="Intel Xeon E3-1245 v5",
+    microarchitecture="Skylake",
+    frequency_ghz=3.9,
+    hierarchy=_intel_hierarchy(l2_latency=12.0),
+    tsc=INTEL_TSC,
+)
+
+#: AMD EPYC 7571 — Zen, 2.5 GHz, coarse TSC, way predictor (Table III).
+AMD_EPYC_7571 = MachineSpec(
+    name="AMD EPYC 7571",
+    microarchitecture="Zen",
+    frequency_ghz=2.5,
+    hierarchy=_amd_hierarchy(),
+    tsc=AMD_TSC,
+)
+
+#: E5-2690 variant with an explicit LLC, for the LLC-channel studies.
+INTEL_E5_2690_3LEVEL = MachineSpec(
+    name="Intel Xeon E5-2690 (3-level)",
+    microarchitecture="Sandy Bridge",
+    frequency_ghz=3.8,
+    hierarchy=_intel_three_level_hierarchy(),
+    tsc=INTEL_TSC,
+)
+
+ALL_SPECS = (INTEL_E5_2690, INTEL_E3_1245V5, AMD_EPYC_7571)

@@ -1,0 +1,79 @@
+"""A simulated hardware/software thread.
+
+Wraps a generator-based program with its identity (thread id, address
+space) and its scheduling state (the cycle at which it can next issue).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.common.errors import SimulationError
+
+#: A thread program: a generator yielding operations from
+#: :mod:`repro.sim.ops` and receiving each operation's result.
+Program = Generator
+
+
+class SimThread:
+    """One schedulable instruction stream.
+
+    Args:
+        name: Human-readable label for traces and errors.
+        program_factory: Zero-argument callable returning a fresh
+            program generator.  Factories (rather than generators) let a
+            thread be restarted for repeated experiment trials.
+        thread_id: Identity used for performance counters.
+        address_space: Virtual address space id; threads of one process
+            share a space (pthread senders in Section VI-B), separate
+            processes do not.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        program_factory: Callable[[], Program],
+        thread_id: int = 0,
+        address_space: int = 0,
+    ):
+        self.name = name
+        self.program_factory = program_factory
+        self.thread_id = thread_id
+        self.address_space = address_space
+        self.ready_at: float = 0.0
+        self.alive = False
+        self.pending_result: Any = None
+        self._program: Optional[Program] = None
+
+    def start(self, at_cycle: float = 0.0) -> None:
+        """(Re)start the program from the beginning."""
+        self._program = self.program_factory()
+        self.ready_at = at_cycle
+        self.alive = True
+        self.pending_result = None
+
+    def next_operation(self):
+        """Advance the program one step, delivering the prior result.
+
+        Returns the next operation, or None when the program finished.
+        """
+        if not self.alive or self._program is None:
+            raise SimulationError(f"thread {self.name!r} is not running")
+        try:
+            op = self._program.send(self.pending_result)
+        except StopIteration:
+            self.alive = False
+            return None
+        self.pending_result = None
+        return op
+
+    def deliver(self, result: Any) -> None:
+        """Stash an operation's result for the next program step."""
+        self.pending_result = result
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "stopped"
+        return (
+            f"SimThread({self.name!r}, tid={self.thread_id}, "
+            f"as={self.address_space}, ready_at={self.ready_at:.0f}, {state})"
+        )

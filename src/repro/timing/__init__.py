@@ -1,0 +1,23 @@
+"""Timing measurement: TSC models and the pointer-chasing primitive.
+
+Reproduces the paper's Section IV-D and Appendix A: ``rdtscp`` around a
+single load cannot separate L1 from L2 hits, while a dependent pointer
+chase can.
+"""
+
+from repro.timing.measurement import (
+    PointerChase,
+    observed_chase_latency,
+    rdtscp_measure,
+)
+from repro.timing.tsc import AMD_TSC, INTEL_TSC, TimestampCounter, TSCSpec
+
+__all__ = [
+    "AMD_TSC",
+    "INTEL_TSC",
+    "PointerChase",
+    "TSCSpec",
+    "TimestampCounter",
+    "observed_chase_latency",
+    "rdtscp_measure",
+]

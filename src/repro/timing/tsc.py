@@ -1,0 +1,97 @@
+"""Time-stamp-counter measurement model.
+
+The receiver's fundamental problem (paper Section IV-D) is that ``rdtscp``
+around a *single* load cannot distinguish an L1 hit (4-5 cycles) from an
+L2 hit (12-17 cycles): the serializing behaviour of the timer instructions
+and out-of-order execution hide short load latencies, so both cases
+measure identically (the paper's Figure 13, where the two histograms
+overlap completely).
+
+We model that with three per-vendor parameters:
+
+* ``serialization_shadow`` — latency up to this many cycles is absorbed
+  by the measurement overhead when the measured code is a single
+  (non-serialized) access.  A *dependent chain* of loads (pointer chasing)
+  is immune: each load's latency is architecturally exposed because the
+  next load's address depends on it.
+* ``overhead_mean`` / ``overhead_jitter`` — the additive cost and noise
+  of the two timer reads.
+* ``granularity`` — readout quantization.  Intel TSCs tick every cycle;
+  the AMD EPYC readout is much coarser (Section VI-A), which is why the
+  AMD channel needs averaging and runs an order of magnitude slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class TSCSpec:
+    """Parameters of one vendor's time-stamp counter behaviour."""
+
+    granularity: float = 1.0
+    overhead_mean: float = 26.0
+    overhead_jitter: float = 1.5
+    serialization_shadow: float = 18.0
+
+    def __post_init__(self) -> None:
+        if self.granularity <= 0:
+            raise ValueError(f"granularity must be > 0, got {self.granularity}")
+        if self.overhead_jitter < 0:
+            raise ValueError("overhead_jitter must be >= 0")
+
+
+#: Intel-style TSC: cycle-granular readout, modest overhead.
+INTEL_TSC = TSCSpec(
+    granularity=1.0,
+    overhead_mean=26.0,
+    overhead_jitter=1.5,
+    serialization_shadow=18.0,
+)
+
+#: AMD EPYC-style TSC: coarse readout quantum and larger jitter, making
+#: single traces unreadable without a moving average (Figure 7).
+AMD_TSC = TSCSpec(
+    granularity=9.0,
+    overhead_mean=38.0,
+    overhead_jitter=7.0,
+    serialization_shadow=20.0,
+)
+
+
+class TimestampCounter:
+    """Converts true simulated latencies into observed measurements.
+
+    Args:
+        spec: Vendor behaviour parameters.
+        rng: Noise source; defaults to the library's deterministic seed.
+    """
+
+    def __init__(self, spec: TSCSpec = INTEL_TSC, rng: RngLike = None):
+        self.spec = spec
+        self._rng = make_rng(rng)
+
+    def quantize(self, value: float) -> float:
+        """Round a raw reading down to the counter's granularity."""
+        g = self.spec.granularity
+        return (value // g) * g
+
+    def measure(self, true_latency: float, serialized: bool = False) -> float:
+        """Observed duration of a region whose true cost is ``true_latency``.
+
+        Args:
+            true_latency: Simulated cycles actually spent.
+            serialized: True when the measured code is a dependent chain
+                (pointer chasing), whose latency cannot hide behind the
+                timer serialization.
+        """
+        if true_latency < 0:
+            raise ValueError(f"latency must be >= 0, got {true_latency}")
+        exposed = true_latency
+        if not serialized:
+            exposed = max(0.0, true_latency - self.spec.serialization_shadow)
+        overhead = self._rng.gauss(self.spec.overhead_mean, self.spec.overhead_jitter)
+        return max(0.0, self.quantize(exposed + overhead))

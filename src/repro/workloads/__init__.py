@@ -1,0 +1,37 @@
+"""Workload generation: synthetic streams and SPEC-like profiles.
+
+Supplies the address traces for the defense evaluation (Figure 9) and
+for the benign-contention baselines of Table VI.
+"""
+
+from repro.workloads.spec_like import (
+    PROFILES_BY_NAME,
+    SPEC_LIKE_PROFILES,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.workloads.synthetic import (
+    mixed_stream,
+    pointer_chase_stream,
+    sequential_stream,
+    strided_stream,
+    working_set_loop,
+    zipf_stream,
+)
+from repro.workloads.trace import ReplayStats, record, replay
+
+__all__ = [
+    "PROFILES_BY_NAME",
+    "ReplayStats",
+    "SPEC_LIKE_PROFILES",
+    "WorkloadProfile",
+    "get_profile",
+    "mixed_stream",
+    "pointer_chase_stream",
+    "record",
+    "replay",
+    "sequential_stream",
+    "strided_stream",
+    "working_set_loop",
+    "zipf_stream",
+]

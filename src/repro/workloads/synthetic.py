@@ -1,0 +1,166 @@
+"""Synthetic address-stream generators.
+
+The defense evaluation (Figure 9) needs workloads whose miss rates react
+to the L1 replacement policy the way real programs do.  Replacement
+policy only matters for access streams with *reuse at intermediate
+distances* — purely streaming or tiny-working-set code is policy
+insensitive — so the generators here are parameterized by working-set
+size, stride, and reuse-distance distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngLike, make_rng
+
+
+def sequential_stream(
+    length: int, line_size: int = 64, base: int = 0, step: int = 8
+) -> Iterator[int]:
+    """A streaming scan with word-granular spatial locality.
+
+    Models streaming kernels (e.g. ``libquantum``/``lbm``-style loops):
+    a new line is touched only every ``line_size / step`` accesses, so
+    the intrinsic L1 miss rate of the stream is ``step / line_size``
+    (1/8 for 8-byte words in 64-byte lines) — matching how real
+    streaming code behaves, rather than missing on every access.
+    """
+    if step < 1:
+        raise ConfigurationError(f"step must be >= 1, got {step}")
+    for i in range(length):
+        yield base + i * step
+
+
+def strided_stream(
+    length: int, stride_lines: int, line_size: int = 64, base: int = 0
+) -> Iterator[int]:
+    """A constant-stride scan, as produced by column-major array walks."""
+    if stride_lines < 1:
+        raise ConfigurationError(f"stride must be >= 1, got {stride_lines}")
+    for i in range(length):
+        yield base + i * stride_lines * line_size
+
+
+def working_set_loop(
+    length: int,
+    working_set_lines: int,
+    line_size: int = 64,
+    base: int = 0,
+) -> Iterator[int]:
+    """Cyclic sweep over a fixed working set.
+
+    When the working set slightly exceeds a cache's capacity this is the
+    worst case for LRU (every access misses) and the best case for
+    random replacement — the classic policy-sensitivity kernel.
+    """
+    if working_set_lines < 1:
+        raise ConfigurationError("working set must have >= 1 line")
+    for i in range(length):
+        yield base + (i % working_set_lines) * line_size
+
+
+def zipf_stream(
+    length: int,
+    working_set_lines: int,
+    alpha: float = 1.0,
+    line_size: int = 64,
+    base: int = 0,
+    rng: RngLike = None,
+) -> Iterator[int]:
+    """Zipf-distributed accesses over a working set.
+
+    Skewed popularity (hot lines reused constantly, long cold tail) is
+    the canonical model of pointer-heavy integer code (``gcc``,
+    ``omnetpp``-style behaviour).
+    """
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be > 0, got {alpha}")
+    r = make_rng(rng)
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(working_set_lines)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    for _ in range(length):
+        u = r.random()
+        # Binary search over the cumulative distribution.
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        yield base + lo * line_size
+
+
+def pointer_chase_stream(
+    length: int,
+    working_set_lines: int,
+    line_size: int = 64,
+    base: int = 0,
+    rng: RngLike = None,
+) -> Iterator[int]:
+    """A random permutation walk: dependent, unpredictable accesses.
+
+    Models linked-data-structure traversal (``mcf``/``astar``-style).
+    The permutation is fixed per stream, so revisits reuse lines with a
+    reuse distance equal to the working-set size.
+    """
+    r = make_rng(rng)
+    order = list(range(working_set_lines))
+    r.shuffle(order)
+    position = 0
+    for _ in range(length):
+        yield base + order[position] * line_size
+        position = (position + 1) % working_set_lines
+
+
+def mixed_stream(
+    components: Sequence[Iterator[int]],
+    weights: Sequence[float],
+    length: int,
+    rng: RngLike = None,
+) -> Iterator[int]:
+    """Interleave several streams with given selection probabilities.
+
+    Real programs alternate phases; mixing streams produces the
+    irregular reuse-distance spectra that separate PLRU from FIFO and
+    random replacement in Figure 9.
+    """
+    if len(components) != len(weights):
+        raise ConfigurationError("components and weights must align")
+    if not components:
+        raise ConfigurationError("need at least one component")
+    total = sum(weights)
+    if total <= 0:
+        raise ConfigurationError("weights must sum to a positive value")
+    r = make_rng(rng)
+    normalized = [w / total for w in weights]
+    iterators = [iter(c) for c in components]
+    emitted = 0
+    while emitted < length:
+        u = r.random()
+        acc = 0.0
+        chosen = iterators[-1]
+        for it, w in zip(iterators, normalized):
+            acc += w
+            if u <= acc:
+                chosen = it
+                break
+        try:
+            yield next(chosen)
+            emitted += 1
+        except StopIteration:
+            # Exhausted component: drop it and renormalize.
+            position = iterators.index(chosen)
+            iterators.pop(position)
+            normalized.pop(position)
+            if not iterators:
+                return
+            scale = sum(normalized)
+            normalized = [w / scale for w in normalized]

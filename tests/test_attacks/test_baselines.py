@@ -1,0 +1,127 @@
+"""Tests for Flush+Reload, Prime+Probe, and Evict+Time baselines."""
+
+import pytest
+
+from repro.attacks.evict_time import EvictTimeAttack
+from repro.attacks.flush_reload import FlushReloadChannel
+from repro.attacks.prime_probe import PrimeProbeChannel
+from repro.cache.config import HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import ProtocolError
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(HierarchyConfig(), rng=2)
+
+
+SHARED = 3 * 64
+
+
+class TestFlushReloadMem:
+    def test_transfers_bits(self, hierarchy):
+        channel = FlushReloadChannel(hierarchy, SHARED, variant="mem")
+        message = [1, 0, 1, 1, 0, 0, 1]
+        assert [channel.transfer_bit(b) for b in message] == [
+            bool(b) for b in message
+        ]
+
+    def test_sender_encode_is_memory_miss(self, hierarchy):
+        """The paper's contrast: F+R(mem) sender must miss to memory."""
+        channel = FlushReloadChannel(hierarchy, SHARED, variant="mem")
+        channel.receiver_flush()
+        cost = channel.sender_encode(1)
+        assert cost.deeper_misses == 1
+        assert cost.cycles >= hierarchy.config.memory_latency
+
+    def test_bit_zero_costs_almost_nothing(self, hierarchy):
+        channel = FlushReloadChannel(hierarchy, SHARED, variant="mem")
+        assert channel.sender_encode(0).cycles < 10
+
+    def test_flush_cost_is_flush_latency(self, hierarchy):
+        channel = FlushReloadChannel(hierarchy, SHARED, variant="mem")
+        assert channel.receiver_flush().cycles == hierarchy.config.flush_latency
+
+    def test_invalid_bit(self, hierarchy):
+        channel = FlushReloadChannel(hierarchy, SHARED)
+        with pytest.raises(ProtocolError):
+            channel.sender_encode(2)
+
+    def test_invalid_variant(self, hierarchy):
+        with pytest.raises(ProtocolError):
+            FlushReloadChannel(hierarchy, SHARED, variant="l3")
+
+
+class TestFlushReloadL1:
+    def test_transfers_bits(self, hierarchy):
+        channel = FlushReloadChannel(hierarchy, SHARED, variant="l1")
+        hierarchy.load(SHARED, count=False)  # line starts cached
+        message = [1, 0, 1, 0, 1]
+        assert [channel.transfer_bit(b) for b in message] == [
+            bool(b) for b in message
+        ]
+
+    def test_sender_encode_is_l2_hit_not_memory(self, hierarchy):
+        """F+R(L1) evicts only from L1: the encode is an L1 miss served
+        by L2 — cheaper than F+R(mem), dearer than the LRU channel."""
+        channel = FlushReloadChannel(hierarchy, SHARED, variant="l1")
+        hierarchy.load(SHARED, count=False)
+        channel.receiver_flush()
+        cost = channel.sender_encode(1)
+        assert cost.l1_misses == 1
+        assert cost.deeper_misses == 0
+        assert cost.cycles == hierarchy.config.l2.hit_latency
+
+
+class TestPrimeProbe:
+    def test_transfers_bits(self, hierarchy):
+        channel = PrimeProbeChannel(hierarchy, target_set=5)
+        message = [1, 0, 0, 1, 1, 0]
+        assert [channel.transfer_bit(b) for b in message] == [
+            bool(b) for b in message
+        ]
+
+    def test_no_shared_memory(self, hierarchy):
+        channel = PrimeProbeChannel(hierarchy, target_set=5)
+        assert channel.sender_line not in channel.prime_lines
+
+    def test_sender_encode_is_miss(self, hierarchy):
+        channel = PrimeProbeChannel(hierarchy, target_set=5)
+        channel.prime()
+        assert channel.sender_encode(1) > hierarchy.config.l1.hit_latency
+
+    def test_prime_fills_whole_set(self, hierarchy):
+        channel = PrimeProbeChannel(hierarchy, target_set=5)
+        channel.prime()
+        resident = hierarchy.l1.set_for(5 * 64).resident_addresses()
+        assert set(channel.prime_lines) <= set(resident)
+
+    def test_invalid_bit(self, hierarchy):
+        with pytest.raises(ProtocolError):
+            PrimeProbeChannel(hierarchy, 5).sender_encode(7)
+
+
+class TestEvictTime:
+    def _victim(self, used_set):
+        def victim(hierarchy):
+            total = 0.0
+            for tag in range(4):
+                address = used_set * 64 + tag * 64 * 64
+                total += hierarchy.load(address, thread_id=9).latency
+            return total
+
+        return victim
+
+    def test_detects_used_set(self, hierarchy):
+        attack = EvictTimeAttack(hierarchy)
+        victim = self._victim(used_set=7)
+        victim(hierarchy)  # warm
+        slowdowns = attack.scan_sets(victim, sets=[6, 7, 8], trials=2)
+        assert slowdowns[7] > slowdowns[6]
+        assert slowdowns[7] > slowdowns[8]
+
+    def test_eviction_removes_victim_lines(self, hierarchy):
+        attack = EvictTimeAttack(hierarchy)
+        hierarchy.load(7 * 64, count=False)
+        attack.evict_set(7)
+        assert not hierarchy.l1.probe(7 * 64)

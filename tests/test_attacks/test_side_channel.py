@@ -1,0 +1,90 @@
+"""Tests for the LRU side-channel key-recovery attack."""
+
+import pytest
+
+from repro.attacks.side_channel import (
+    TABLE_ENTRIES,
+    LRUSideChannelAttack,
+    SideChannelResult,
+    TableLookupVictim,
+)
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import ProtocolError
+from repro.sim.specs import INTEL_E5_2690
+
+
+def fresh_hierarchy(rng=4):
+    return CacheHierarchy(INTEL_E5_2690.hierarchy, rng=rng)
+
+
+class TestVictim:
+    def test_key_validated(self):
+        with pytest.raises(ProtocolError):
+            TableLookupVictim(fresh_hierarchy(), key=64)
+
+    def test_lookup_touches_key_dependent_set(self):
+        hierarchy = fresh_hierarchy()
+        victim = TableLookupVictim(hierarchy, key=13)
+        victim.encrypt(plaintext=5)
+        touched_entry = (5 ^ 13) % TABLE_ENTRIES
+        assert hierarchy.l1.probe(victim.table_base + touched_entry * 64)
+
+    def test_warm_table_makes_lookups_hits(self):
+        hierarchy = fresh_hierarchy()
+        victim = TableLookupVictim(hierarchy, key=13)
+        victim.warm_table()
+        hierarchy.reset_counters()
+        for p in range(16):
+            victim.encrypt(p)
+        # All lookups hit L1 (no attacker pressure yet).
+        assert hierarchy.l1.counters.miss_rate(1) == 0.0
+
+
+class TestAttack:
+    @pytest.mark.parametrize("key", [0, 7, 33, 63])
+    def test_recovers_key(self, key):
+        hierarchy = fresh_hierarchy()
+        victim = TableLookupVictim(hierarchy, key=key)
+        attack = LRUSideChannelAttack(hierarchy, target_set=5, rng=11)
+        result = attack.recover_key(victim, encryptions=256)
+        assert result.recovered_key == key
+
+    def test_votes_unanimous_in_clean_conditions(self):
+        hierarchy = fresh_hierarchy()
+        victim = TableLookupVictim(hierarchy, key=42)
+        attack = LRUSideChannelAttack(hierarchy, target_set=5, rng=11)
+        result = attack.recover_key(victim, encryptions=256)
+        assert result.confidence() == 1.0
+
+    def test_different_target_sets_work(self):
+        for target_set in (1, 20, 63):
+            hierarchy = fresh_hierarchy()
+            victim = TableLookupVictim(hierarchy, key=9)
+            attack = LRUSideChannelAttack(
+                hierarchy, target_set=target_set, rng=11
+            )
+            assert attack.recover_key(victim, encryptions=256).recovered_key == 9
+
+    def test_no_observations_no_key(self):
+        hierarchy = fresh_hierarchy()
+        victim = TableLookupVictim(hierarchy, key=9)
+        attack = LRUSideChannelAttack(hierarchy, target_set=5, rng=11)
+        result = attack.recover_key(victim, encryptions=0)
+        assert result.recovered_key is None
+        assert result.confidence() == 0.0
+
+    def test_needs_enough_sets(self):
+        small = HierarchyConfig(
+            l1=CacheConfig(size=8 * 1024, ways=8, line_size=64),  # 16 sets
+            l2=CacheConfig(name="L2", size=256 * 1024, hit_latency=12.0),
+        )
+        hierarchy = CacheHierarchy(small, rng=1)
+        with pytest.raises(ProtocolError):
+            LRUSideChannelAttack(hierarchy, target_set=5)
+
+    def test_result_confidence_math(self):
+        result = SideChannelResult(recovered_key=3)
+        result.votes[3] = 8
+        result.votes[4] = 2
+        assert result.confidence() == pytest.approx(0.8)

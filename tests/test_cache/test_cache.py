@@ -1,0 +1,167 @@
+"""Tests for the single-level set-associative cache."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.cache.way_predictor import WayPredictor
+from repro.common.types import AccessType, MemoryAccess
+
+
+def tiny_cache(policy="lru", predictor=None):
+    config = CacheConfig(
+        name="L1D", size=2048, ways=4, line_size=64, policy=policy
+    )
+    return SetAssociativeCache(config, rng=1, way_predictor=predictor)
+
+
+class TestLookupAndFill:
+    def test_cold_miss(self):
+        cache = tiny_cache()
+        result = cache.lookup(MemoryAccess(address=0))
+        assert not result.hit
+
+    def test_fill_then_hit(self):
+        cache = tiny_cache()
+        access = MemoryAccess(address=0)
+        cache.fill(access)
+        assert cache.lookup(access).hit
+
+    def test_line_granularity(self):
+        cache = tiny_cache()
+        cache.fill(MemoryAccess(address=0))
+        assert cache.lookup(MemoryAccess(address=63)).hit
+        assert not cache.lookup(MemoryAccess(address=64)).hit
+
+    def test_conflict_eviction_after_ways_exhausted(self):
+        cache = tiny_cache()
+        stride = cache.config.num_sets * 64
+        for i in range(5):  # 5 lines into a 4-way set
+            cache.fill(MemoryAccess(address=i * stride))
+            cache.lookup(MemoryAccess(address=i * stride), count=False)
+        assert not cache.probe(0)
+
+    def test_fill_reports_evicted_address(self):
+        cache = tiny_cache()
+        stride = cache.config.num_sets * 64
+        for i in range(4):
+            cache.fill(MemoryAccess(address=i * stride))
+            cache.lookup(MemoryAccess(address=i * stride), count=False)
+        result = cache.fill(MemoryAccess(address=4 * stride))
+        assert result.evicted_address == 0
+
+    def test_store_marks_dirty(self):
+        cache = tiny_cache()
+        cache.fill(MemoryAccess(address=0, access_type=AccessType.STORE))
+        line = cache.set_for(0).lines[0]
+        assert line.dirty
+
+    def test_probe_has_no_side_effects(self):
+        cache = tiny_cache(policy="tree-plru")
+        for i in range(2):
+            cache.fill(MemoryAccess(address=i * cache.config.num_sets * 64))
+        snap = cache.set_for(0).policy.state_snapshot()
+        cache.probe(0)
+        assert cache.set_for(0).policy.state_snapshot() == snap
+
+    def test_flush(self):
+        cache = tiny_cache()
+        cache.fill(MemoryAccess(address=0))
+        assert cache.flush(0)
+        assert not cache.probe(0)
+
+    def test_flush_absent_line(self):
+        assert not tiny_cache().flush(0)
+
+
+class TestReplacementStateUpdates:
+    def test_hit_updates_lru_state(self):
+        """The leaking transition (paper's core observation)."""
+        cache = tiny_cache(policy="lru")
+        stride = cache.config.num_sets * 64
+        for i in range(4):
+            cache.fill(MemoryAccess(address=i * stride))
+            cache.lookup(MemoryAccess(address=i * stride), count=False)
+        # Way 0 is LRU; a *hit* on it must refresh it.
+        cache.lookup(MemoryAccess(address=0))
+        result = cache.fill(MemoryAccess(address=4 * stride))
+        assert result.evicted_address == 1 * stride  # not line 0
+
+    def test_update_lru_on_hit_flag(self):
+        """The deferred-update defense: hits leave the state alone."""
+        config = CacheConfig(
+            size=2048, ways=4, line_size=64, policy="lru",
+            update_lru_on_hit=False,
+        )
+        cache = SetAssociativeCache(config)
+        stride = config.num_sets * 64
+        for i in range(4):
+            cache.fill(MemoryAccess(address=i * stride))
+        snap = cache.set_for(0).policy.state_snapshot()
+        cache.lookup(MemoryAccess(address=0))
+        assert cache.set_for(0).policy.state_snapshot() == snap
+
+
+class TestCounters:
+    def test_miss_then_hit_counting(self):
+        cache = tiny_cache()
+        access = MemoryAccess(address=0, thread_id=3)
+        cache.lookup(access)  # miss
+        cache.fill(access)
+        cache.lookup(access)  # hit
+        assert cache.counters.total_references(3) == 2
+        assert cache.counters.total_misses(3) == 1
+
+    def test_uncounted_lookup(self):
+        cache = tiny_cache()
+        cache.lookup(MemoryAccess(address=0), count=False)
+        assert cache.counters.total_references(0) == 0
+
+    def test_reset_counters(self):
+        cache = tiny_cache()
+        cache.lookup(MemoryAccess(address=0))
+        cache.reset_counters()
+        assert cache.counters.total_references(0) == 0
+
+
+class TestWayPredictorIntegration:
+    def test_same_space_hits_normally(self):
+        cache = tiny_cache(predictor=WayPredictor())
+        access = MemoryAccess(address=0, address_space=1)
+        cache.fill(access)
+        result = cache.lookup(access)
+        assert result.hit and not result.way_predictor_miss
+
+    def test_cross_space_first_access_mispredicts(self):
+        """Section VI-B: another process's load sees a miss latency even
+        though the data is physically present."""
+        cache = tiny_cache(predictor=WayPredictor())
+        cache.fill(MemoryAccess(address=0, address_space=1))
+        cache.lookup(MemoryAccess(address=0, address_space=1), count=False)
+        result = cache.lookup(MemoryAccess(address=0, address_space=2))
+        assert result.hit and result.way_predictor_miss
+
+    def test_utag_retrains_after_mispredict(self):
+        cache = tiny_cache(predictor=WayPredictor())
+        cache.fill(MemoryAccess(address=0, address_space=1))
+        cache.lookup(MemoryAccess(address=0, address_space=2), count=False)
+        result = cache.lookup(MemoryAccess(address=0, address_space=2))
+        assert result.hit and not result.way_predictor_miss
+
+    def test_no_predictor_no_mispredict(self):
+        cache = tiny_cache()
+        cache.fill(MemoryAccess(address=0, address_space=1))
+        result = cache.lookup(MemoryAccess(address=0, address_space=2))
+        assert result.hit and not result.way_predictor_miss
+
+
+class TestIntrospection:
+    def test_contents(self):
+        cache = tiny_cache()
+        cache.fill(MemoryAccess(address=64))
+        contents = cache.contents()
+        assert contents == {1: [64]}
+
+    def test_repr_mentions_geometry(self):
+        text = repr(tiny_cache())
+        assert "4-way" in text and "8 sets" in text

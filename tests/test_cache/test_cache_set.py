@@ -1,0 +1,96 @@
+"""Tests for the CacheSet container."""
+
+import pytest
+
+from repro.cache.cache_set import CacheSet
+from repro.common.errors import SimulationError
+from repro.replacement import FIFO, TreePLRU, TrueLRU
+
+
+def make_set(ways=4, policy_cls=TrueLRU):
+    return CacheSet(ways, policy_cls(ways))
+
+
+class TestCacheSet:
+    def test_policy_size_checked(self):
+        with pytest.raises(SimulationError):
+            CacheSet(4, TrueLRU(8))
+
+    def test_lookup_miss_on_empty(self):
+        assert make_set().lookup(5) is None
+
+    def test_install_and_lookup(self):
+        cs = make_set()
+        cs.install(0, tag=5, address=5 * 4096)
+        assert cs.lookup(5) == 0
+
+    def test_install_returns_evicted_address(self):
+        cs = make_set()
+        cs.install(0, tag=1, address=100)
+        evicted = cs.install(0, tag=2, address=200)
+        assert evicted == 100
+
+    def test_install_empty_way_returns_none(self):
+        cs = make_set()
+        assert cs.install(2, tag=1, address=1) is None
+
+    def test_valid_mask(self):
+        cs = make_set()
+        cs.install(1, tag=9, address=9)
+        assert cs.valid_mask() == [False, True, False, False]
+
+    def test_touch_hit_vs_fill_for_fifo(self):
+        """FIFO's on_fill must be used for fills, touch for hits."""
+        cs = CacheSet(4, FIFO(4))
+        cs.touch(0, is_fill=True)
+        assert cs.policy.victim([True] * 4) == 1
+        cs.touch(1, is_fill=False)  # hit: no pointer movement
+        assert cs.policy.victim([True] * 4) == 1
+
+    def test_touch_fill_for_lru_family_same_as_hit(self):
+        cs = CacheSet(4, TreePLRU(4))
+        cs.touch(2, is_fill=True)
+        snapshot_fill = cs.policy.state_snapshot()
+        cs2 = CacheSet(4, TreePLRU(4))
+        cs2.touch(2, is_fill=False)
+        assert cs2.policy.state_snapshot() == snapshot_fill
+
+    def test_choose_victim_prefers_invalid(self):
+        cs = make_set()
+        cs.install(0, tag=1, address=1)
+        assert cs.choose_victim() == 1
+
+    def test_invalidate_tag(self):
+        cs = make_set()
+        cs.install(0, tag=7, address=7)
+        assert cs.invalidate_tag(7) == 0
+        assert cs.lookup(7) is None
+
+    def test_invalidate_missing_tag(self):
+        assert make_set().invalidate_tag(9) is None
+
+    def test_resident_addresses(self):
+        cs = make_set()
+        cs.install(0, tag=1, address=111)
+        cs.install(3, tag=2, address=222)
+        assert sorted(cs.resident_addresses()) == [111, 222]
+
+    def test_locked_ways(self):
+        cs = make_set()
+        cs.install(0, tag=1, address=1)
+        cs.install(1, tag=2, address=2)
+        cs.lines[1].locked = True
+        assert cs.locked_ways() == [1]
+
+    def test_install_clears_lock(self):
+        cs = make_set()
+        cs.install(0, tag=1, address=1)
+        cs.lines[0].locked = True
+        cs.install(0, tag=2, address=2)
+        assert not cs.lines[0].locked
+
+    def test_snapshot_shape(self):
+        cs = make_set()
+        cs.install(0, tag=1, address=1)
+        tags, policy_state = cs.snapshot()
+        assert tags == (1, None, None, None)

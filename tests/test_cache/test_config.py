@@ -1,0 +1,76 @@
+"""Tests for cache geometry configuration and address decomposition."""
+
+import pytest
+
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.common.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_paper_l1_geometry(self):
+        config = CacheConfig(size=32 * 1024, ways=8, line_size=64)
+        assert config.num_sets == 64
+        assert config.offset_bits == 6
+        assert config.index_bits == 6
+
+    def test_set_index_uses_bits_6_to_11(self):
+        # Section IV-B: "bits 6-11 of the address decide the cache set".
+        config = CacheConfig(size=32 * 1024, ways=8, line_size=64)
+        assert config.set_index(0) == 0
+        assert config.set_index(64) == 1
+        assert config.set_index(63) == 0
+        assert config.set_index(64 * 64) == 0  # wraps at 4 KiB
+
+    def test_tag_above_index(self):
+        config = CacheConfig(size=32 * 1024, ways=8, line_size=64)
+        assert config.tag(0) == 0
+        assert config.tag(64 * 64) == 1
+
+    def test_line_address_rounds_down(self):
+        config = CacheConfig()
+        assert config.line_address(130) == 128
+
+    def test_same_set_different_tags(self):
+        config = CacheConfig(size=32 * 1024, ways=8, line_size=64)
+        stride = config.num_sets * config.line_size
+        a, b = 5 * 64, 5 * 64 + stride
+        assert config.set_index(a) == config.set_index(b)
+        assert config.tag(a) != config.tag(b)
+
+    @pytest.mark.parametrize("size", [0, 100, 3 * 1024])
+    def test_non_power_of_two_size_rejected(self, size):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=size)
+
+    def test_non_power_of_two_ways_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(ways=6)
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(hit_latency=0)
+
+    def test_size_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=1024, ways=32, line_size=64)
+
+
+class TestHierarchyConfig:
+    def test_defaults_valid(self):
+        config = HierarchyConfig()
+        assert config.l1.hit_latency < config.l2.hit_latency < config.memory_latency
+
+    def test_line_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(
+                l1=CacheConfig(line_size=64),
+                l2=CacheConfig(name="L2", size=256 * 1024, line_size=128,
+                               hit_latency=12.0),
+            )
+
+    def test_non_increasing_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(
+                l1=CacheConfig(hit_latency=12.0),
+                l2=CacheConfig(name="L2", size=256 * 1024, hit_latency=4.0),
+            )

@@ -1,0 +1,105 @@
+"""Differential testing: the cache against an independent reference model.
+
+A stateful hypothesis test drives random access/flush sequences through
+:class:`SetAssociativeCache` configured with true LRU and, in parallel,
+through a 20-line reference model built directly on ``OrderedDict`` —
+an implementation with no shared code.  Any divergence in residency or
+eviction choice is a bug in one of them.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.common.types import MemoryAccess
+
+#: Tiny geometry so random sequences exercise conflicts constantly.
+CONFIG = CacheConfig(size=1024, ways=4, line_size=64, policy="lru")  # 4 sets
+NUM_SETS = CONFIG.num_sets
+WAYS = CONFIG.ways
+
+addresses = st.integers(min_value=0, max_value=64).map(lambda i: i * 64)
+
+
+class ReferenceCache:
+    """Independent LRU cache model: one OrderedDict per set."""
+
+    def __init__(self):
+        self.sets = [OrderedDict() for _ in range(NUM_SETS)]
+
+    @staticmethod
+    def _key(address):
+        return address // 64
+
+    def access(self, address) -> bool:
+        """Returns True on hit; performs LRU replacement on miss."""
+        line = self._key(address)
+        bucket = self.sets[line % NUM_SETS]
+        if line in bucket:
+            bucket.move_to_end(line)
+            return True
+        if len(bucket) >= WAYS:
+            bucket.popitem(last=False)  # least recently used
+        bucket[line] = True
+        return False
+
+    def flush(self, address) -> None:
+        line = self._key(address)
+        self.sets[line % NUM_SETS].pop(line, None)
+
+    def resident(self, address) -> bool:
+        line = self._key(address)
+        return line in self.sets[line % NUM_SETS]
+
+    def all_resident(self):
+        out = set()
+        for index, bucket in enumerate(self.sets):
+            out.update(bucket.keys())
+        return out
+
+
+class CacheVsReference(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = SetAssociativeCache(CONFIG)
+        self.reference = ReferenceCache()
+
+    @rule(address=addresses)
+    def access(self, address):
+        expected_hit = self.reference.access(address)
+        result = self.cache.lookup(MemoryAccess(address=address))
+        assert result.hit == expected_hit, (
+            f"hit mismatch at {address:#x}: cache={result.hit} "
+            f"reference={expected_hit}"
+        )
+        if not result.hit:
+            self.cache.fill(MemoryAccess(address=address))
+
+    @rule(address=addresses)
+    def flush(self, address):
+        self.reference.flush(address)
+        self.cache.flush(address)
+
+    @rule(address=addresses)
+    def probe(self, address):
+        assert self.cache.probe(address) == self.reference.resident(address)
+
+    @invariant()
+    def same_resident_set(self):
+        cache_lines = {
+            line.address // 64
+            for cache_set in self.cache.sets
+            for line in cache_set.lines
+            if line.valid
+        }
+        assert cache_lines == self.reference.all_resident()
+
+
+CacheVsReference.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=60, deadline=None
+)
+TestCacheVsReference = CacheVsReference.TestCase

@@ -1,0 +1,148 @@
+"""Tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import PREFETCH_THREAD, CacheHierarchy
+from repro.cache.prefetcher import StridePrefetcher
+from repro.common.types import AccessType, CacheLevel, MemoryAccess
+
+
+class TestAccessPath:
+    def test_cold_access_goes_to_memory(self, hierarchy):
+        outcome = hierarchy.load(0)
+        assert outcome.hit_level == CacheLevel.MEMORY
+        assert outcome.latency == hierarchy.config.memory_latency
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.load(0)
+        outcome = hierarchy.load(0)
+        assert outcome.hit_level == CacheLevel.L1
+        assert outcome.latency == hierarchy.config.l1.hit_latency
+
+    def test_l1_eviction_leaves_l2_copy(self, hierarchy):
+        target = 5 * 64
+        hierarchy.load(target)
+        stride = hierarchy.config.l1.num_sets * 64
+        for i in range(1, hierarchy.config.l1.ways + 1):
+            hierarchy.load(target + (1 << 24) + i * stride)
+        assert not hierarchy.l1.probe(target)
+        outcome = hierarchy.load(target)
+        assert outcome.hit_level == CacheLevel.L2
+        assert outcome.latency == hierarchy.config.l2.hit_latency
+
+    def test_l2_hit_refills_l1(self, hierarchy):
+        target = 5 * 64
+        hierarchy.load(target)
+        stride = hierarchy.config.l1.num_sets * 64
+        for i in range(1, hierarchy.config.l1.ways + 1):
+            hierarchy.load(target + (1 << 24) + i * stride)
+        hierarchy.load(target)  # L2 hit, refill
+        assert hierarchy.l1.probe(target)
+
+    def test_flush_removes_from_all_levels(self, hierarchy):
+        hierarchy.load(0)
+        outcome = hierarchy.flush_address(0)
+        assert outcome.latency == hierarchy.config.flush_latency
+        assert not hierarchy.l1.probe(0)
+        assert not hierarchy.l2.probe(0)
+        assert hierarchy.load(0).hit_level == CacheLevel.MEMORY
+
+    def test_eviction_reported(self, hierarchy):
+        stride = hierarchy.config.l1.num_sets * 64
+        for i in range(hierarchy.config.l1.ways):
+            hierarchy.load(i * stride)
+        outcome = hierarchy.load(hierarchy.config.l1.ways * stride)
+        assert outcome.evicted_address == 0
+
+    def test_warm_does_not_count(self, hierarchy):
+        hierarchy.warm([0, 64, 128], thread_id=5)
+        assert hierarchy.l1.counters.total_references(5) == 0
+        assert hierarchy.l1.probe(0)
+
+
+class TestCounters:
+    def test_l2_references_are_l1_misses(self, hierarchy):
+        hierarchy.load(0, thread_id=1)  # cold: L1 miss, L2 miss
+        hierarchy.load(0, thread_id=1)  # L1 hit
+        assert hierarchy.l1.counters.total_references(1) == 2
+        assert hierarchy.l1.counters.total_misses(1) == 1
+        assert hierarchy.l2.counters.total_references(1) == 1
+        assert hierarchy.l2.counters.total_misses(1) == 1
+
+    def test_counters_list_ordering(self, hierarchy):
+        banks = hierarchy.counters()
+        assert [b.level_name for b in banks] == ["L1D", "L2"]
+
+    def test_reset(self, hierarchy):
+        hierarchy.load(0)
+        hierarchy.reset_counters()
+        assert hierarchy.l1.counters.total_references(0) == 0
+
+
+class TestInvisibleSpeculation:
+    def test_speculative_access_leaves_no_trace(self):
+        h = CacheHierarchy(HierarchyConfig(), invisible_speculation=True)
+        outcome = h.load(0, speculative=True)
+        assert outcome.hit_level == CacheLevel.MEMORY
+        assert not h.l1.probe(0)
+        assert not h.l2.probe(0)
+
+    def test_speculative_latency_still_correct(self):
+        h = CacheHierarchy(HierarchyConfig(), invisible_speculation=True)
+        h.load(0)  # architectural fill
+        outcome = h.load(0, speculative=True)
+        assert outcome.latency == h.config.l1.hit_latency
+
+    def test_speculative_hit_does_not_update_lru(self):
+        h = CacheHierarchy(HierarchyConfig(), invisible_speculation=True)
+        stride = h.config.l1.num_sets * 64
+        for i in range(h.config.l1.ways):
+            h.load(i * stride)
+        snap = h.l1.set_for(0).policy.state_snapshot()
+        h.load(0, speculative=True)
+        assert h.l1.set_for(0).policy.state_snapshot() == snap
+
+    def test_defense_off_speculative_fills(self):
+        h = CacheHierarchy(HierarchyConfig(), invisible_speculation=False)
+        h.load(0, speculative=True)
+        assert h.l1.probe(0)
+
+
+class TestPrefetcherIntegration:
+    def test_stride_stream_triggers_prefetch(self):
+        h = CacheHierarchy(
+            HierarchyConfig(), prefetcher=StridePrefetcher(degree=1)
+        )
+        for i in range(5):
+            h.load(i * 64, thread_id=2)
+        assert h.prefetcher.issued > 0
+        # The line after the last demand access should be prefetched.
+        assert h.l1.probe(5 * 64)
+
+    def test_prefetch_counts_to_prefetch_thread(self):
+        h = CacheHierarchy(
+            HierarchyConfig(), prefetcher=StridePrefetcher(degree=1)
+        )
+        for i in range(6):
+            h.load(i * 64, thread_id=2)
+        assert h.l1.counters.total_references(PREFETCH_THREAD) == 0  # fills only
+        # Demand counters unpolluted: exactly 6 references for thread 2.
+        assert h.l1.counters.total_references(2) == 6
+
+    def test_prefetch_pollutes_lru_state(self):
+        """Appendix C's noise source: prefetch fills touch LRU state."""
+        h = CacheHierarchy(
+            HierarchyConfig(), prefetcher=StridePrefetcher(degree=2)
+        )
+        snap = h.l1.set_for(5 * 64).policy.state_snapshot()
+        for i in range(5):
+            h.load(i * 64, thread_id=2)
+        assert h.l1.set_for(5 * 64).policy.state_snapshot() != snap
+
+
+class TestLatencyForLevel:
+    def test_levels(self, hierarchy):
+        assert hierarchy.latency_for_level(CacheLevel.L1) == 4.0
+        assert hierarchy.latency_for_level(CacheLevel.L2) == 12.0
+        assert hierarchy.latency_for_level(CacheLevel.MEMORY) == 200.0

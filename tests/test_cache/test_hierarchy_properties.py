@@ -1,0 +1,150 @@
+"""Property-based invariants of the cache hierarchy.
+
+Random access/flush sequences must preserve structural invariants no
+matter the interleaving — the guarantees every channel and experiment
+silently relies on.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.types import CacheLevel
+
+SMALL = HierarchyConfig(
+    l1=CacheConfig(size=2 * 1024, ways=4, line_size=64, policy="lru"),
+    l2=CacheConfig(name="L2", size=8 * 1024, ways=4, line_size=64,
+                   policy="lru", hit_latency=12.0),
+)
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "flush"]),
+        st.integers(min_value=0, max_value=63).map(lambda i: i * 64),
+        st.integers(min_value=0, max_value=2),  # thread
+    ),
+    max_size=80,
+)
+
+
+def run_ops(hierarchy, ops):
+    for op, address, thread in ops:
+        if op == "load":
+            hierarchy.load(address, thread_id=thread)
+        else:
+            hierarchy.flush_address(address, thread_id=thread)
+
+
+class TestHierarchyInvariants:
+    @given(operations)
+    @settings(max_examples=50, deadline=None)
+    def test_latency_is_one_of_configured_levels(self, ops):
+        hierarchy = CacheHierarchy(SMALL, rng=1)
+        allowed = {
+            SMALL.l1.hit_latency,
+            SMALL.l2.hit_latency,
+            SMALL.memory_latency,
+            SMALL.flush_latency,
+        }
+        for op, address, thread in ops:
+            if op == "load":
+                outcome = hierarchy.load(address, thread_id=thread)
+            else:
+                outcome = hierarchy.flush_address(address, thread_id=thread)
+            assert outcome.latency in allowed
+
+    @given(operations)
+    @settings(max_examples=50, deadline=None)
+    def test_loaded_line_is_l1_resident(self, ops):
+        """Immediately after any demand load, the line is in L1."""
+        hierarchy = CacheHierarchy(SMALL, rng=1)
+        for op, address, thread in ops:
+            if op == "load":
+                hierarchy.load(address, thread_id=thread)
+                assert hierarchy.l1.probe(address)
+            else:
+                hierarchy.flush_address(address, thread_id=thread)
+                assert not hierarchy.l1.probe(address)
+                assert not hierarchy.l2.probe(address)
+
+    @given(operations)
+    @settings(max_examples=50, deadline=None)
+    def test_second_load_never_slower(self, ops):
+        """Re-loading an address immediately is always an L1 hit."""
+        hierarchy = CacheHierarchy(SMALL, rng=1)
+        run_ops(hierarchy, ops)
+        for address in {a for op, a, _ in ops if op == "load"}:
+            hierarchy.load(address)
+            assert hierarchy.load(address).hit_level == CacheLevel.L1
+
+    @given(operations)
+    @settings(max_examples=50, deadline=None)
+    def test_counters_consistent(self, ops):
+        """Misses never exceed references, at any level, per thread."""
+        hierarchy = CacheHierarchy(SMALL, rng=1)
+        run_ops(hierarchy, ops)
+        for bank in hierarchy.counters():
+            for thread in (0, 1, 2):
+                assert (
+                    bank.total_misses(thread) <= bank.total_references(thread)
+                )
+
+    @given(operations)
+    @settings(max_examples=50, deadline=None)
+    def test_l1_occupancy_bounded(self, ops):
+        hierarchy = CacheHierarchy(SMALL, rng=1)
+        run_ops(hierarchy, ops)
+        for cache_set in hierarchy.l1.sets:
+            assert len(cache_set.resident_addresses()) <= SMALL.l1.ways
+
+    @given(operations)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_replay(self, ops):
+        """Same seed + same operations = identical end state."""
+        a = CacheHierarchy(SMALL, rng=7)
+        b = CacheHierarchy(SMALL, rng=7)
+        run_ops(a, ops)
+        run_ops(b, ops)
+        assert a.l1.contents() == b.l1.contents()
+        assert a.l2.contents() == b.l2.contents()
+
+
+class TestSenderStealthInvariant:
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_l1_hits_never_touch_deeper_levels(self, ways):
+        """The paper's stealth property as an invariant: a sender whose
+        accesses all hit L1 generates zero L2 references."""
+        hierarchy = CacheHierarchy(SMALL, rng=1)
+        stride = SMALL.l1.num_sets * 64
+        addresses = [w * stride for w in range(4)]  # one set, fits
+        hierarchy.warm(addresses)
+        hierarchy.reset_counters()
+        for w in ways:
+            hierarchy.load(addresses[w % 4], thread_id=1)
+        assert hierarchy.l2.counters.total_references(1) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_l1_hits_never_change_llc_state(self, ways):
+        """Section III: 'the sender's accesses to L1 or L2 caches will
+        not change the replacement state in the LLC'."""
+        config = dataclasses.replace(
+            SMALL,
+            llc=CacheConfig(name="LLC", size=32 * 1024, ways=8,
+                            line_size=64, policy="lru", hit_latency=40.0),
+        )
+        hierarchy = CacheHierarchy(config, rng=1)
+        stride = config.l1.num_sets * 64
+        addresses = [w * stride for w in range(4)]
+        hierarchy.warm(addresses)
+        snapshots = [
+            s.policy.state_snapshot() for s in hierarchy.llc.sets
+        ]
+        for w in ways:
+            hierarchy.load(addresses[w % 4], thread_id=1)
+        assert snapshots == [
+            s.policy.state_snapshot() for s in hierarchy.llc.sets
+        ]

@@ -1,0 +1,110 @@
+"""Tests for the shared-LLC multicore system."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.multicore import MultiCoreConfig, MultiCoreSystem
+from repro.common.errors import ConfigurationError
+from repro.common.types import CacheLevel
+
+
+@pytest.fixture
+def system():
+    return MultiCoreSystem(MultiCoreConfig(), rng=3)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = MultiCoreConfig()
+        assert config.cores == 2
+        assert config.llc.ways == 16
+
+    def test_core_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            MultiCoreConfig(cores=0)
+
+    def test_latency_ordering_validated(self):
+        with pytest.raises(ConfigurationError):
+            MultiCoreConfig(
+                llc=CacheConfig(
+                    name="LLC", size=2 * 1024 * 1024, ways=16,
+                    hit_latency=2.0,  # below L1
+                )
+            )
+
+
+class TestAccessPath:
+    def test_cold_miss_reaches_memory(self, system):
+        outcome = system.load(0, 0x1000)
+        assert outcome.hit_level == CacheLevel.MEMORY
+
+    def test_refill_hits_own_l1(self, system):
+        system.load(0, 0x1000)
+        assert system.load(0, 0x1000).hit_level == CacheLevel.L1
+
+    def test_other_core_hits_shared_llc(self, system):
+        """The cross-core property the LLC channel relies on."""
+        system.load(0, 0x1000)
+        outcome = system.load(1, 0x1000)
+        assert outcome.hit_level == CacheLevel.LLC
+        assert outcome.latency == system.config.llc.hit_latency
+
+    def test_private_levels_are_private(self, system):
+        system.load(0, 0x1000)
+        assert system.cores[0].l1.probe(0x1000)
+        assert not system.cores[1].l1.probe(0x1000)
+
+    def test_core_id_validated(self, system):
+        with pytest.raises(ConfigurationError):
+            system.load(5, 0)
+
+    def test_evict_private_keeps_llc_copy(self, system):
+        system.load(0, 0x1000)
+        system.evict_private(0, 0x1000)
+        assert not system.cores[0].l1.probe(0x1000)
+        assert not system.cores[0].l2.probe(0x1000)
+        assert system.llc.probe(0x1000)
+        assert system.load(0, 0x1000).hit_level == CacheLevel.LLC
+
+
+class TestInclusion:
+    def test_llc_eviction_back_invalidates(self, system):
+        """Inclusive LLC: losing the LLC copy kills private copies."""
+        llc = system.config.llc
+        target = 3 * 64
+        system.load(0, target)
+        stride = llc.num_sets * llc.line_size
+        # Overflow the LLC set from the other core.
+        for i in range(1, llc.ways + 4):
+            system.load(1, target + (1 << 28) + i * stride)
+        if not system.llc.probe(target):
+            assert not system.cores[0].l1.probe(target)
+            assert not system.cores[0].l2.probe(target)
+
+    def test_flush_clears_all_levels_all_cores(self, system):
+        from repro.common.types import AccessType, MemoryAccess
+
+        system.load(0, 0x2000)
+        system.load(1, 0x2000)
+        system.access(
+            0,
+            MemoryAccess(address=0x2000, access_type=AccessType.FLUSH),
+        )
+        assert not system.llc.probe(0x2000)
+        for core in system.cores:
+            assert not core.l1.probe(0x2000)
+            assert not core.l2.probe(0x2000)
+
+
+class TestCounters:
+    def test_bank_layout(self, system):
+        banks = system.counters()
+        assert [b.level_name for b in banks] == [
+            "L1D", "L2", "L1D", "L2", "LLC",
+        ]
+
+    def test_llc_counts_both_cores(self, system):
+        system.load(0, 0x1000)   # LLC miss
+        system.load(1, 0x1000)   # LLC hit (after core 1's L1/L2 misses)
+        assert system.llc.counters.total_references(None) == 2
+        assert system.llc.counters.total_misses(None) == 1

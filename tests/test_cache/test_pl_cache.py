@@ -1,0 +1,125 @@
+"""Tests for the Partition-Locked cache, original and hardened."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.pl_cache import PLCache
+from repro.common.types import MemoryAccess
+
+
+def make_pl(lock_lru=False, ways=4):
+    config = CacheConfig(
+        size=ways * 8 * 64, ways=ways, line_size=64, policy="tree-plru"
+    )
+    return PLCache(config, lock_lru=lock_lru)
+
+
+def fill_set(cache, count, base_tag=0):
+    """Fill `count` lines into set 0; returns their addresses."""
+    stride = cache.config.num_sets * 64
+    addresses = [(base_tag + i) * stride for i in range(count)]
+    for a in addresses:
+        if not cache.lookup(MemoryAccess(address=a), count=False).hit:
+            cache.fill(MemoryAccess(address=a))
+    return addresses
+
+
+class TestLocking:
+    def test_lock_line_sets_bit(self):
+        cache = make_pl()
+        fill_set(cache, 1)
+        cache.lock_line(0)
+        assert cache.set_for(0).locked_ways() == [0]
+
+    def test_unlock_line_clears_bit(self):
+        cache = make_pl()
+        fill_set(cache, 1)
+        cache.lock_line(0)
+        cache.unlock_line(0)
+        assert cache.set_for(0).locked_ways() == []
+
+    def test_lock_request_on_access(self):
+        cache = make_pl()
+        cache.fill(MemoryAccess(address=0, locked=True))
+        assert cache.set_for(0).locked_ways() == [0]
+
+    def test_locked_line_never_evicted(self):
+        cache = make_pl(ways=4)
+        addresses = fill_set(cache, 4)
+        cache.lock_line(addresses[0])
+        # Hammer the set with new lines; address 0 must survive.
+        stride = cache.config.num_sets * 64
+        for i in range(10, 30):
+            cache.fill(MemoryAccess(address=i * stride))
+        assert cache.probe(addresses[0])
+
+    def test_locked_victim_served_uncached(self):
+        cache = make_pl(ways=4)
+        addresses = fill_set(cache, 4)
+        # Lock everything: any further fill must be uncached.
+        for a in addresses:
+            cache.lock_line(a)
+        stride = cache.config.num_sets * 64
+        result = cache.fill(MemoryAccess(address=99 * stride))
+        assert result.uncached
+        assert not cache.probe(99 * stride)
+
+
+class TestOriginalDesignLeak:
+    def test_hit_on_locked_line_updates_lru(self):
+        """The flaw of Figure 11 top: original PL updates PLRU on locked
+        hits."""
+        cache = make_pl(lock_lru=False)
+        addresses = fill_set(cache, 4)
+        cache.lock_line(addresses[3])
+        # Make another way most-recent so the locked hit is not a no-op.
+        cache.lookup(MemoryAccess(address=addresses[0]), count=False)
+        snap = cache.set_for(0).policy.state_snapshot()
+        cache.lookup(MemoryAccess(address=addresses[3]))
+        assert cache.set_for(0).policy.state_snapshot() != snap
+
+    def test_refused_replacement_updates_victim_state(self):
+        cache = make_pl(lock_lru=False, ways=4)
+        addresses = fill_set(cache, 4)
+        # Lock addresses[0]'s way, then make it the PLRU victim via a
+        # full sequential pass over the others.
+        cache.lock_line(addresses[0])
+        for a in addresses[1:]:
+            cache.lookup(MemoryAccess(address=a), count=False)
+        victim_way = cache.set_for(0).policy.victim()
+        assert cache.set_for(0).lines[victim_way].locked
+        snap = cache.set_for(0).policy.state_snapshot()
+        stride = cache.config.num_sets * 64
+        result = cache.fill(MemoryAccess(address=50 * stride))
+        assert result.uncached
+        assert cache.set_for(0).policy.state_snapshot() != snap
+
+
+class TestHardenedDesign:
+    def test_hit_on_locked_line_does_not_update_lru(self):
+        """The fix (blue boxes in Figure 10)."""
+        cache = make_pl(lock_lru=True)
+        addresses = fill_set(cache, 4)
+        cache.lock_line(addresses[3])
+        snap = cache.set_for(0).policy.state_snapshot()
+        cache.lookup(MemoryAccess(address=addresses[3]))
+        assert cache.set_for(0).policy.state_snapshot() == snap
+
+    def test_refused_replacement_does_not_update_state(self):
+        cache = make_pl(lock_lru=True, ways=4)
+        addresses = fill_set(cache, 4)
+        cache.lock_line(addresses[0])
+        for a in addresses[1:]:
+            cache.lookup(MemoryAccess(address=a), count=False)
+        snap = cache.set_for(0).policy.state_snapshot()
+        stride = cache.config.num_sets * 64
+        result = cache.fill(MemoryAccess(address=50 * stride))
+        assert result.uncached
+        assert cache.set_for(0).policy.state_snapshot() == snap
+
+    def test_unlocked_lines_behave_normally(self):
+        cache = make_pl(lock_lru=True)
+        addresses = fill_set(cache, 2)
+        snap = cache.set_for(0).policy.state_snapshot()
+        cache.lookup(MemoryAccess(address=addresses[0]))
+        assert cache.set_for(0).policy.state_snapshot() != snap

@@ -1,0 +1,111 @@
+"""Tests for the AMD way predictor and the stride prefetcher."""
+
+import pytest
+
+from repro.cache.prefetcher import StridePrefetcher
+from repro.cache.way_predictor import WayPredictor
+
+
+class TestWayPredictor:
+    def test_same_inputs_same_utag(self):
+        wp = WayPredictor()
+        assert wp.utag(1, 0x1000) == wp.utag(1, 0x1000)
+
+    def test_different_spaces_differ(self):
+        wp = WayPredictor()
+        assert wp.utag(1, 0x1000) != wp.utag(2, 0x1000)
+
+    def test_same_page_same_utag(self):
+        """Offsets within a 4 KiB page share the linear page number."""
+        wp = WayPredictor()
+        assert wp.utag(1, 0x1000) == wp.utag(1, 0x1FC0)
+
+    def test_different_pages_differ(self):
+        wp = WayPredictor()
+        assert wp.utag(1, 0x1000) != wp.utag(1, 0x2000)
+
+    def test_utag_width(self):
+        wp = WayPredictor(utag_bits=8)
+        for space in range(4):
+            for page in range(64):
+                assert 0 <= wp.utag(space, page << 12) < 256
+
+    def test_predicts_hit_on_matching_utag(self):
+        wp = WayPredictor()
+        utag = wp.utag(1, 0x5000)
+        assert wp.predicts_hit(utag, 1, 1, 0x5000)
+
+    def test_predicts_miss_cross_space(self):
+        wp = WayPredictor()
+        utag = wp.utag(1, 0x5000)
+        assert not wp.predicts_hit(utag, 1, 2, 0x5000)
+
+    def test_hash_collisions_possible(self):
+        """Section VI-B: 'unless the hash of two linear addresses
+        conflicts' — a small utag must collide across some inputs."""
+        wp = WayPredictor(utag_bits=8)
+        seen = {}
+        collision = False
+        for space in range(8):
+            for page in range(512):
+                tag = wp.utag(space, page << 12)
+                if tag in seen and seen[tag] != (space, page):
+                    collision = True
+                seen[tag] = (space, page)
+        assert collision
+
+
+class TestStridePrefetcher:
+    def test_no_prefetch_before_training(self):
+        pf = StridePrefetcher(threshold=2)
+        assert pf.observe(0, 0) == []
+        assert pf.observe(0, 64) == []
+
+    def test_prefetch_after_confirmed_stride(self):
+        pf = StridePrefetcher(degree=2, threshold=2)
+        for a in (0, 64, 128):
+            out = pf.observe(0, a)
+        assert out == [192, 256]
+
+    def test_stride_break_resets(self):
+        pf = StridePrefetcher(degree=1, threshold=2)
+        for a in (0, 64, 128):
+            pf.observe(0, a)
+        assert pf.observe(0, 1024) == []  # stride broken
+
+    def test_negative_stride_supported(self):
+        pf = StridePrefetcher(degree=1, threshold=2)
+        out = []
+        for a in (1024, 960, 896):
+            out = pf.observe(0, a)
+        assert out == [832]
+
+    def test_streams_are_per_thread(self):
+        pf = StridePrefetcher(degree=1, threshold=2)
+        pf.observe(0, 0)
+        pf.observe(1, 1000)
+        pf.observe(0, 64)
+        pf.observe(1, 2000)
+        assert pf.observe(0, 128) != []
+
+    def test_targets_are_line_aligned(self):
+        pf = StridePrefetcher(degree=1, threshold=2, line_size=64)
+        for a in (3, 67, 131):
+            out = pf.observe(0, a)
+        assert all(t % 64 == 0 for t in out)
+
+    def test_negative_targets_dropped(self):
+        pf = StridePrefetcher(degree=3, threshold=2)
+        out = []
+        for a in (256, 128, 0):
+            out = pf.observe(0, a)
+        assert all(t >= 0 for t in out)
+
+    def test_issue_counter_and_reset(self):
+        pf = StridePrefetcher(degree=2, threshold=2)
+        for a in (0, 64, 128):
+            pf.observe(0, a)
+        assert pf.issued == 2
+        pf.reset()
+        assert pf.issued == 0
+        assert pf.observe(0, 192) == []

@@ -1,0 +1,96 @@
+"""Tests for channel address layouts."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.channels.addresses import (
+    ChannelLayout,
+    lines_for_set,
+    private_memory_layout,
+    shared_memory_layout,
+)
+from repro.common.errors import ConfigurationError
+
+
+@pytest.fixture
+def config():
+    return CacheConfig(size=32 * 1024, ways=8, line_size=64)
+
+
+class TestLinesForSet:
+    def test_all_map_to_target_set(self, config):
+        lines = lines_for_set(config, 5, 9)
+        assert all(config.set_index(a) == 5 for a in lines)
+
+    def test_distinct_tags(self, config):
+        lines = lines_for_set(config, 5, 9)
+        assert len({config.tag(a) for a in lines}) == 9
+
+    def test_tag_base_shifts_range(self, config):
+        a = lines_for_set(config, 5, 4, tag_base=0)
+        b = lines_for_set(config, 5, 4, tag_base=100)
+        assert not set(a) & set(b)
+
+    def test_invalid_set_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            lines_for_set(config, 64, 1)
+
+    def test_invalid_count_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            lines_for_set(config, 0, 0)
+
+
+class TestSharedMemoryLayout:
+    def test_n_plus_one_receiver_lines(self, config):
+        layout = shared_memory_layout(config, 3)
+        assert len(layout.receiver_lines) == 9
+
+    def test_sender_shares_line_zero(self, config):
+        """Algorithm 1's defining property."""
+        layout = shared_memory_layout(config, 3)
+        assert layout.sender_line == layout.receiver_lines[0]
+        assert layout.probe_line == layout.sender_line
+
+    def test_validates(self, config):
+        shared_memory_layout(config, 3).validate()
+
+
+class TestPrivateMemoryLayout:
+    def test_n_receiver_lines(self, config):
+        layout = private_memory_layout(config, 3)
+        assert len(layout.receiver_lines) == 8
+
+    def test_sender_line_disjoint(self, config):
+        """Algorithm 2's defining property: no shared memory."""
+        layout = private_memory_layout(config, 3)
+        assert layout.sender_line not in layout.receiver_lines
+
+    def test_sender_line_same_set(self, config):
+        layout = private_memory_layout(config, 3)
+        assert config.set_index(layout.sender_line) == 3
+
+    def test_validates(self, config):
+        private_memory_layout(config, 3).validate()
+
+
+class TestLayoutValidation:
+    def test_wrong_set_detected(self, config):
+        layout = ChannelLayout(
+            config=config,
+            target_set=3,
+            receiver_lines=[3 * 64, 4 * 64],  # second maps to set 4
+            sender_line=3 * 64,
+        )
+        with pytest.raises(ConfigurationError):
+            layout.validate()
+
+    def test_duplicate_receiver_lines_detected(self, config):
+        stride = config.num_sets * 64
+        layout = ChannelLayout(
+            config=config,
+            target_set=3,
+            receiver_lines=[3 * 64, 3 * 64],
+            sender_line=3 * 64 + stride,
+        )
+        with pytest.raises(ConfigurationError):
+            layout.validate()

@@ -1,0 +1,100 @@
+"""Tests for channel-capacity estimation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channels.capacity import (
+    BinaryChannelStats,
+    bsc_capacity,
+    capacity_bits_per_second,
+)
+
+
+class TestBinaryChannelStats:
+    def test_from_bits(self):
+        stats = BinaryChannelStats.from_bits([0, 0, 1, 1], [0, 1, 1, 0])
+        assert (stats.n00, stats.n01, stats.n10, stats.n11) == (1, 1, 1, 1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BinaryChannelStats.from_bits([0], [0, 1])
+
+    def test_perfect_channel_one_bit(self):
+        stats = BinaryChannelStats.from_bits([0, 1] * 50, [0, 1] * 50)
+        assert stats.mutual_information() == pytest.approx(1.0)
+
+    def test_inverted_channel_also_one_bit(self):
+        """Information theory does not care about polarity."""
+        stats = BinaryChannelStats.from_bits([0, 1] * 50, [1, 0] * 50)
+        assert stats.mutual_information() == pytest.approx(1.0)
+
+    def test_useless_channel_zero_bits(self):
+        stats = BinaryChannelStats.from_bits([0, 1] * 50, [0, 0] * 50)
+        assert stats.mutual_information() == pytest.approx(0.0, abs=1e-9)
+
+    def test_random_channel_near_zero(self):
+        import random
+
+        rng = random.Random(1)
+        sent = [rng.randrange(2) for _ in range(2000)]
+        decoded = [rng.randrange(2) for _ in range(2000)]
+        stats = BinaryChannelStats.from_bits(sent, decoded)
+        assert stats.mutual_information() < 0.01
+
+    def test_empty(self):
+        assert BinaryChannelStats(0, 0, 0, 0).mutual_information() == 0.0
+
+    def test_crossover_probabilities(self):
+        stats = BinaryChannelStats(n00=90, n01=10, n10=20, n11=80)
+        p01, p10 = stats.crossover_probabilities()
+        assert p01 == pytest.approx(0.1)
+        assert p10 == pytest.approx(0.2)
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=200),
+    )
+    def test_mutual_information_bounds(self, a, b, c, d):
+        stats = BinaryChannelStats(a, b, c, d)
+        mi = stats.mutual_information()
+        assert -1e-9 <= mi <= 1.0 + 1e-9
+
+
+class TestBSCCapacity:
+    def test_noiseless(self):
+        assert bsc_capacity(0.0) == pytest.approx(1.0)
+        assert bsc_capacity(1.0) == pytest.approx(1.0)
+
+    def test_useless_at_half(self):
+        assert bsc_capacity(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        # 1 - H(0.11) ~= 0.5 is the textbook example.
+        assert bsc_capacity(0.11) == pytest.approx(0.5, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bsc_capacity(1.5)
+
+    def test_empirical_mi_below_bsc_bound(self):
+        """The symmetric-channel bound dominates any empirical MI with
+        the same average flip rate (uniform input)."""
+        stats = BinaryChannelStats(n00=45, n01=5, n10=5, n11=45)
+        flip = 10 / 100
+        assert stats.mutual_information() <= bsc_capacity(flip) + 1e-9
+
+
+class TestCapacityRate:
+    def test_scaling(self):
+        stats = BinaryChannelStats.from_bits([0, 1] * 50, [0, 1] * 50)
+        kbps = capacity_bits_per_second(stats, 6000.0, 3.8)
+        assert kbps == pytest.approx(3.8e9 / 6000.0)
+
+    def test_validation(self):
+        stats = BinaryChannelStats(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            capacity_bits_per_second(stats, 0.0, 3.8)

@@ -1,0 +1,124 @@
+"""Tests for the error-correcting transmission stack."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channels.coding import (
+    CodedPipe,
+    deinterleave,
+    hamming74_decode,
+    hamming74_decode_block,
+    hamming74_encode,
+    hamming74_encode_block,
+    interleave,
+)
+from repro.common.errors import ProtocolError
+
+NIBBLES = st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=4)
+BITS = st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=64)
+
+
+class TestHammingBlock:
+    @given(NIBBLES)
+    def test_roundtrip_clean(self, data):
+        assert hamming74_decode_block(hamming74_encode_block(data)) == data
+
+    @given(NIBBLES, st.integers(min_value=0, max_value=6))
+    def test_corrects_any_single_flip(self, data, position):
+        code = hamming74_encode_block(data)
+        code[position] ^= 1
+        assert hamming74_decode_block(code) == data
+
+    def test_double_flip_not_corrected(self):
+        data = [1, 0, 1, 1]
+        code = hamming74_encode_block(data)
+        code[0] ^= 1
+        code[3] ^= 1
+        assert hamming74_decode_block(code) != data
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            hamming74_encode_block([1, 0, 1])
+        with pytest.raises(ProtocolError):
+            hamming74_decode_block([1] * 6)
+        with pytest.raises(ProtocolError):
+            hamming74_encode_block([1, 0, 2, 0])
+
+
+class TestHammingStream:
+    @given(BITS)
+    def test_roundtrip(self, bits):
+        decoded = hamming74_decode(hamming74_encode(bits))
+        assert decoded[: len(bits)] == bits
+
+    def test_expansion_ratio(self):
+        assert len(hamming74_encode([0] * 16)) == 28
+
+    def test_partial_trailing_block_dropped(self):
+        coded = hamming74_encode([1, 0, 1, 1])
+        assert hamming74_decode(coded + [0, 1]) == [1, 0, 1, 1]
+
+
+class TestInterleaver:
+    @given(BITS, st.integers(min_value=1, max_value=8))
+    def test_roundtrip(self, bits, depth):
+        woven = interleave(bits, depth)
+        flat = deinterleave(woven, depth)
+        assert flat[: len(bits)] == bits
+
+    def test_burst_dispersal(self):
+        """A burst of `depth` errors lands one-per-codeword region."""
+        bits = [0] * 49
+        woven = interleave(bits, 7)
+        # Corrupt a 7-long burst in the channel domain.
+        for i in range(7, 14):
+            woven[i] ^= 1
+        flat = deinterleave(woven, 7)
+        # In the original domain the errors are spread 7 apart.
+        error_positions = [i for i, b in enumerate(flat) if b == 1]
+        gaps = [b - a for a, b in zip(error_positions, error_positions[1:])]
+        assert all(g == 7 for g in gaps)
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            interleave([1], 0)
+        with pytest.raises(ProtocolError):
+            deinterleave([1, 0, 1], 2)
+
+
+class TestCodedPipe:
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40))
+    @settings(max_examples=30)
+    def test_clean_channel_roundtrip(self, payload):
+        pipe = CodedPipe(depth=7)
+        assert pipe.decode(pipe.encode(payload), len(payload)) == payload
+
+    def test_corrects_scattered_flips(self):
+        rng = random.Random(5)
+        payload = [rng.randrange(2) for _ in range(64)]
+        pipe = CodedPipe(depth=7)
+        channel = pipe.encode(payload)
+        # Flip ~3% of channel bits, far apart.
+        for position in range(0, len(channel), 37):
+            channel[position] ^= 1
+        assert pipe.decode(channel, len(payload)) == payload
+
+    def test_corrects_one_burst(self):
+        rng = random.Random(6)
+        payload = [rng.randrange(2) for _ in range(64)]
+        pipe = CodedPipe(depth=7)
+        channel = pipe.encode(payload)
+        for position in range(21, 28):  # 7-long burst
+            channel[position] ^= 1
+        assert pipe.decode(channel, len(payload)) == payload
+
+    def test_tolerates_trailing_garbage_and_truncation(self):
+        payload = [1, 0, 1, 1, 0, 0, 1, 0]
+        pipe = CodedPipe(depth=7)
+        channel = pipe.encode(payload)
+        assert pipe.decode(channel + [1, 1, 1], len(payload)) == payload
+        short = channel[:-2]  # losses at the tail
+        decoded = pipe.decode(short, len(payload))
+        assert len(decoded) == len(payload)

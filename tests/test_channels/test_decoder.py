@@ -1,0 +1,170 @@
+"""Tests for the receiver-side decoders."""
+
+import pytest
+
+from repro.channels.decoder import (
+    moving_average_decode,
+    runlength_decode,
+    sample_bits,
+    strip_stuck_runs,
+    threshold_decode,
+    window_decode,
+)
+from repro.channels.protocol import ChannelRun
+from repro.common.errors import ProtocolError
+from repro.common.types import Observation
+
+
+def make_run(latencies, timestamps=None, threshold=40.0, hit_means_one=True,
+             boundaries=(), sent=()):
+    run = ChannelRun(threshold=threshold, hit_means_one=hit_means_one)
+    for i, lat in enumerate(latencies):
+        stamp = timestamps[i] if timestamps else i * 100
+        run.observations.append(
+            Observation(sequence=i, latency=lat, timestamp=stamp)
+        )
+    run.bit_boundaries = list(boundaries)
+    run.sent_bits = list(sent)
+    return run
+
+
+class TestThresholdDecode:
+    def test_alg1_polarity(self):
+        # hit (below threshold) means 1 for Algorithm 1.
+        assert threshold_decode([30, 50], 40, hit_means_one=True) == [1, 0]
+
+    def test_alg2_polarity(self):
+        assert threshold_decode([30, 50], 40, hit_means_one=False) == [0, 1]
+
+    def test_sample_bits_uses_run_metadata(self):
+        run = make_run([30, 50], hit_means_one=False)
+        assert sample_bits(run) == [0, 1]
+
+
+class TestRunlengthDecode:
+    def test_perfect_oversampling(self):
+        bits = [0] * 10 + [1] * 10 + [0] * 10
+        assert runlength_decode(bits, 10) == [0, 1, 0]
+
+    def test_rounding_of_uneven_runs(self):
+        bits = [1] * 9 + [0] * 11
+        assert runlength_decode(bits, 10) == [1, 0]
+
+    def test_long_run_expands(self):
+        bits = [1] * 30
+        assert runlength_decode(bits, 10) == [1, 1, 1]
+
+    def test_short_glitch_filtered_by_default(self):
+        bits = [0] * 10 + [1] + [0] * 10
+        assert runlength_decode(bits, 10) == [0, 0]
+
+    def test_short_glitch_kept_without_smoothing(self):
+        bits = [0] * 10 + [1] + [0] * 10
+        assert runlength_decode(bits, 10, smooth=False) == [0, 1, 0]
+
+    def test_empty(self):
+        assert runlength_decode([], 10) == []
+
+    def test_invalid_spb(self):
+        with pytest.raises(ProtocolError):
+            runlength_decode([1], 0)
+
+
+class TestWindowDecode:
+    def test_majority_vote_per_window(self):
+        latencies = [30, 30, 50, 50, 50, 30]
+        stamps = [0, 50, 100, 150, 200, 250]
+        run = make_run(
+            latencies, stamps, boundaries=[0, 100, 200], sent=[1, 0, 1]
+        )
+        assert window_decode(run) == [1, 0, 1]
+
+    def test_empty_window_is_lost_bit(self):
+        run = make_run(
+            [30, 30], [0, 50], boundaries=[0, 100, 200], sent=[1, 0, 1]
+        )
+        # No observation in [100, 200) or [200, 300): those bits drop.
+        assert window_decode(run) == [1]
+
+    def test_requires_boundaries(self):
+        run = make_run([30])
+        with pytest.raises(ProtocolError):
+            window_decode(run)
+
+
+class TestMovingAverageDecode:
+    def test_recovers_alternating_wave(self):
+        # 10 samples per bit, alternating levels with noise-free values.
+        latencies = ([30.0] * 10 + [50.0] * 10) * 4
+        decoded = moving_average_decode(
+            latencies, samples_per_bit_hint=10, hit_means_one=True
+        )
+        # Alternating 1/0 (hit level = low latency = bit 1).
+        assert len(decoded) >= 6
+        transitions = sum(1 for a, b in zip(decoded, decoded[1:]) if a != b)
+        assert transitions >= len(decoded) - 2
+
+    def test_short_input(self):
+        assert moving_average_decode([30.0], 10, True) == []
+
+
+class TestStripStuckRuns:
+    def test_truncates_long_runs(self):
+        bits = [1] * 10 + [0, 1, 0]
+        assert strip_stuck_runs(bits, max_run=3) == [1, 1, 1, 0, 1, 0]
+
+    def test_no_change_below_limit(self):
+        bits = [0, 1, 1, 0]
+        assert strip_stuck_runs(bits, max_run=3) == bits
+
+    def test_invalid_max_run(self):
+        with pytest.raises(ProtocolError):
+            strip_stuck_runs([1], 0)
+
+
+class TestMajorityFilter:
+    def test_removes_isolated_flip(self):
+        from repro.channels.decoder import majority_filter
+
+        bits = [0, 0, 0, 1, 0, 0, 0]
+        assert majority_filter(bits, 3) == [0] * 7
+
+    def test_preserves_real_transitions(self):
+        from repro.channels.decoder import majority_filter
+
+        bits = [0, 0, 0, 1, 1, 1]
+        assert majority_filter(bits, 3) == bits
+
+    def test_window_one_is_identity(self):
+        from repro.channels.decoder import majority_filter
+
+        assert majority_filter([1, 0, 1], 1) == [1, 0, 1]
+
+    def test_even_window_rejected(self):
+        from repro.channels.decoder import majority_filter
+        from repro.common.errors import ProtocolError
+
+        import pytest
+
+        with pytest.raises(ProtocolError):
+            majority_filter([1], 2)
+
+    def test_short_input_passthrough(self):
+        from repro.channels.decoder import majority_filter
+
+        assert majority_filter([1, 0], 3) == [1, 0]
+
+
+class TestMovingAveragePhaseRecovery:
+    def test_recovers_despite_phase_offset(self):
+        """The receiver's samples rarely align with bit boundaries; the
+        phase search must still slice correctly."""
+        from repro.channels.decoder import moving_average_decode
+
+        wave = [30.0] * 4 + ([50.0] * 10 + [30.0] * 10) * 4
+        decoded = moving_average_decode(
+            wave, samples_per_bit_hint=10, hit_means_one=True, window=5
+        )
+        transitions = sum(1 for a, b in zip(decoded, decoded[1:]) if a != b)
+        # An alternating wave must decode as (nearly) alternating bits.
+        assert transitions >= len(decoded) - 2

@@ -1,0 +1,102 @@
+"""Tests for end-to-end channel evaluation."""
+
+import pytest
+
+from repro.channels.algorithm1 import SharedMemoryLRUChannel
+from repro.channels.evaluation import (
+    evaluate_hyper_threaded,
+    nominal_rate_bps,
+    random_message,
+    sweep_error_rate,
+)
+from repro.channels.protocol import ProtocolConfig
+from repro.sim.machine import Machine
+from repro.sim.specs import INTEL_E5_2690
+
+
+class TestRandomMessage:
+    def test_length(self):
+        assert len(random_message(128, rng=1)) == 128
+
+    def test_bits_only(self):
+        assert set(random_message(64, rng=1)) <= {0, 1}
+
+    def test_deterministic(self):
+        assert random_message(32, rng=5) == random_message(32, rng=5)
+
+    def test_roughly_balanced(self):
+        msg = random_message(400, rng=2)
+        assert 120 < sum(msg) < 280
+
+
+class TestNominalRate:
+    def test_ts_6000_on_e5(self):
+        rate = nominal_rate_bps(INTEL_E5_2690, 6000)
+        assert rate == pytest.approx(633_333, rel=0.01)
+
+
+class TestEvaluateHyperThreaded:
+    def _evaluate(self, decoder="runlength", rng=42):
+        machine = Machine(INTEL_E5_2690, rng=rng)
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=8
+        )
+        message = random_message(48, rng=7)
+        return evaluate_hyper_threaded(
+            machine,
+            channel,
+            ProtocolConfig(ts=6000, tr=600),
+            message,
+            repeats=2,
+            decoder=decoder,
+        )
+
+    def test_low_error_rate(self):
+        evaluation = self._evaluate()
+        assert evaluation.error_rate < 0.30
+
+    def test_window_decoder_more_accurate(self):
+        run_length = self._evaluate("runlength")
+        window = self._evaluate("window")
+        assert window.error_rate <= run_length.error_rate
+
+    def test_rate_near_nominal(self):
+        evaluation = self._evaluate()
+        nominal = nominal_rate_bps(INTEL_E5_2690, 6000)
+        assert 0.5 * nominal < evaluation.transmission_rate_bps <= 1.05 * nominal
+
+    def test_kbps_property(self):
+        evaluation = self._evaluate()
+        assert evaluation.transmission_rate_kbps == pytest.approx(
+            evaluation.transmission_rate_bps / 1000.0
+        )
+
+    def test_unknown_decoder(self):
+        machine = Machine(INTEL_E5_2690, rng=1)
+        channel = SharedMemoryLRUChannel.build(machine.spec.hierarchy.l1, 1)
+        with pytest.raises(ValueError):
+            evaluate_hyper_threaded(
+                machine, channel, ProtocolConfig(), [1], decoder="nope"
+            )
+
+    def test_received_bits_close_in_length(self):
+        evaluation = self._evaluate()
+        sent = len(evaluation.sent_bits)
+        assert abs(len(evaluation.received_bits) - sent) <= sent * 0.3
+
+
+class TestSweep:
+    def test_averages_across_trials(self):
+        result = sweep_error_rate(
+            machine_factory=lambda: Machine(INTEL_E5_2690, rng=11),
+            channel_factory=lambda m: SharedMemoryLRUChannel.build(
+                m.spec.hierarchy.l1, 1, d=8
+            ),
+            config=ProtocolConfig(ts=6000, tr=600),
+            message_length=24,
+            repeats=1,
+            trials=2,
+            rng=5,
+        )
+        assert 0.0 <= result.error_rate < 0.5
+        assert result.transmission_rate_bps > 0

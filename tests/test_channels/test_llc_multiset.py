@@ -1,0 +1,135 @@
+"""Tests for the LLC cross-core channel and the multi-set channel."""
+
+import random
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.multicore import MultiCoreConfig, MultiCoreSystem
+from repro.channels.llc import LLCChannel
+from repro.channels.multiset import ParallelLRUChannel
+from repro.common.errors import ProtocolError
+from repro.sim.specs import INTEL_E5_2690
+
+
+def llc_system(policy="lru", rng=3):
+    llc = CacheConfig(
+        name="LLC", size=2 * 1024 * 1024, ways=16, line_size=64,
+        policy=policy, hit_latency=40.0,
+    )
+    return MultiCoreSystem(MultiCoreConfig(llc=llc), rng=rng)
+
+
+_message_rng = random.Random(7)
+MESSAGE = [_message_rng.randrange(2) for _ in range(48)]
+
+
+class TestLLCChannel:
+    def test_lru_llc_perfect_transfer(self):
+        channel = LLCChannel(llc_system("lru"), target_set=3, rng=5)
+        run = channel.transfer(MESSAGE)
+        assert run.accuracy() == 1.0
+
+    def test_tree_plru_llc_mostly_correct(self):
+        channel = LLCChannel(llc_system("tree-plru"), target_set=3, rng=5)
+        run = channel.transfer(MESSAGE)
+        assert run.accuracy() > 0.85
+
+    def test_srrip_llc_degrades_to_chance(self):
+        """The policy-swap defense, one level down: SRRIP's fill/hit
+        asymmetry breaks the LRU-order assumption and the channel
+        decodes at chance level."""
+        channel = LLCChannel(llc_system("srrip"), target_set=3, rng=5)
+        run = channel.transfer(MESSAGE)
+        assert 0.3 < run.accuracy() < 0.75
+
+    def test_random_llc_degrades_to_chance(self):
+        channel = LLCChannel(llc_system("random"), target_set=3, rng=5)
+        run = channel.transfer(MESSAGE)
+        assert 0.3 < run.accuracy() < 0.75
+
+    def test_sender_pays_private_misses(self):
+        """The stealth cost vs the L1 channel (Section III): every LLC
+        encode requires sender-side L1/L2 self-eviction."""
+        channel = LLCChannel(llc_system("lru"), target_set=3, rng=5)
+        run = channel.transfer(MESSAGE)
+        assert run.sender_private_misses == sum(MESSAGE)
+
+    def test_probe_latencies_bimodal(self):
+        channel = LLCChannel(llc_system("lru"), target_set=3, rng=5)
+        run = channel.transfer([0, 1] * 12)
+        zeros = [l for l, b in zip(run.latencies, run.sent_bits) if b == 0]
+        ones = [l for l, b in zip(run.latencies, run.sent_bits) if b == 1]
+        assert max(zeros) < min(ones)
+
+    def test_threshold_separates(self):
+        channel = LLCChannel(llc_system("lru"), target_set=3, rng=5)
+        run = channel.transfer([0, 1] * 12)
+        for latency, bit in zip(run.latencies, run.sent_bits):
+            assert (latency > run.threshold) == (bit == 1)
+
+    def test_validation(self):
+        system = llc_system()
+        with pytest.raises(ProtocolError):
+            LLCChannel(system, target_set=1 << 20)
+        with pytest.raises(ProtocolError):
+            LLCChannel(system, target_set=1, d=0)
+        channel = LLCChannel(system, target_set=1)
+        run = channel.transfer([])
+        with pytest.raises(ProtocolError):
+            channel.sender_encode(3, run)
+
+
+class TestParallelLRUChannel:
+    def _hierarchy(self):
+        return CacheHierarchy(INTEL_E5_2690.hierarchy, rng=4)
+
+    def test_roundtrip_bytes(self):
+        channel = ParallelLRUChannel(self._hierarchy(), lanes=8, d=8)
+        payload = b"LRU states leak!"
+        result = channel.send_bytes(payload)
+        assert ParallelLRUChannel.decode_bytes(result, len(payload)) == payload
+        assert result.bit_accuracy() == 1.0
+
+    @pytest.mark.parametrize("lanes", [1, 16, 63])
+    def test_various_widths(self, lanes):
+        channel = ParallelLRUChannel(self._hierarchy(), lanes=lanes, d=8)
+        payload = b"xy"
+        result = channel.send_bytes(payload)
+        assert ParallelLRUChannel.decode_bytes(result, 2) == payload
+
+    def test_symbol_size_enforced(self):
+        channel = ParallelLRUChannel(self._hierarchy(), lanes=4)
+        with pytest.raises(ProtocolError):
+            channel.transfer_symbol([1, 0])
+
+    def test_lane_bounds_enforced(self):
+        with pytest.raises(ProtocolError):
+            ParallelLRUChannel(self._hierarchy(), lanes=64, first_set=1)
+        with pytest.raises(ProtocolError):
+            ParallelLRUChannel(self._hierarchy(), lanes=0)
+
+    def test_lanes_are_independent(self):
+        """Flipping one lane's bit must not disturb neighbours."""
+        channel = ParallelLRUChannel(self._hierarchy(), lanes=4, d=8)
+        result = channel.transfer(
+            [[0, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 0]]
+        )
+        assert result.received_symbols == result.sent_symbols
+
+    def test_accuracy_metrics(self):
+        channel = ParallelLRUChannel(self._hierarchy(), lanes=4, d=8)
+        result = channel.transfer([[1, 0, 1, 0]] * 4)
+        assert result.symbol_accuracy() == 1.0
+        assert result.bit_accuracy() == 1.0
+
+    def test_throughput_scales_with_lanes(self):
+        """The point of Section IV's parallelism remark: M lanes move
+        M bits per receiver round."""
+        payload = bytes(range(32))
+        narrow = ParallelLRUChannel(self._hierarchy(), lanes=8, d=8)
+        wide = ParallelLRUChannel(self._hierarchy(), lanes=32, d=8)
+        rounds_narrow = len(narrow.send_bytes(payload).sent_symbols)
+        rounds_wide = len(wide.send_bytes(payload).sent_symbols)
+        assert rounds_narrow == 4 * rounds_wide

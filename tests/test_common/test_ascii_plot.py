@@ -1,0 +1,61 @@
+"""Tests for the ASCII plotting helpers."""
+
+from repro.common.ascii_plot import bar_histogram, sparkline, threshold_trace
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_rises(self):
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+        assert list(out) == sorted(out)
+
+    def test_width_compression(self):
+        out = sparkline(list(range(100)), width=10)
+        assert len(out) == 10
+
+    def test_length_matches_input_when_unbounded(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_alternating_wave_shape(self):
+        out = sparkline([30, 30, 60, 60, 30, 30])
+        assert out[0] == out[1] != out[2]
+
+
+class TestThresholdTrace:
+    def test_two_lines(self):
+        out = threshold_trace([30, 60, 30], threshold=45)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1] == ".^."
+
+    def test_width_sampling(self):
+        out = threshold_trace(list(range(100)), threshold=50, width=20)
+        assert len(out.splitlines()[0]) == 20
+
+
+class TestBarHistogram:
+    def test_empty(self):
+        assert bar_histogram([]) == []
+
+    def test_peak_gets_full_width(self):
+        lines = bar_histogram([(30.0, 10), (40.0, 5)], width=20)
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_counts_shown(self):
+        lines = bar_histogram([(30.0, 7)])
+        assert "(7)" in lines[0]
+
+    def test_zero_count_bin_has_no_bar(self):
+        lines = bar_histogram([(30.0, 4), (40.0, 0)], width=10)
+        assert lines[1].count("#") == 0
+
+    def test_all_zero(self):
+        assert bar_histogram([(1.0, 0)]) == []

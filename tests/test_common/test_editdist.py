@@ -1,0 +1,105 @@
+"""Tests for the Wagner-Fischer edit distance (the paper's error metric)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.editdist import channel_error_rate, edit_distance, edit_operations
+
+BITS = st.lists(st.integers(min_value=0, max_value=1), max_size=30)
+
+
+class TestEditDistance:
+    def test_identical_sequences(self):
+        assert edit_distance([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_empty_vs_empty(self):
+        assert edit_distance([], []) == 0
+
+    def test_empty_vs_nonempty(self):
+        assert edit_distance([], [1, 0, 1]) == 3
+        assert edit_distance([1, 0, 1], []) == 3
+
+    def test_single_substitution(self):
+        assert edit_distance([1, 0, 1], [1, 1, 1]) == 1
+
+    def test_single_insertion(self):
+        assert edit_distance([1, 0], [1, 0, 1]) == 1
+
+    def test_single_deletion(self):
+        assert edit_distance([1, 0, 1], [1, 1]) == 1
+
+    def test_classic_strings(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("flaw", "lawn") == 2
+
+    def test_completely_different(self):
+        assert edit_distance([0] * 5, [1] * 5) == 5
+
+    def test_shift_by_one_costs_little(self):
+        # A bit slip is cheap under edit distance — which is exactly why
+        # the paper uses it for channels with insertion/loss errors.
+        sent = [1, 0, 1, 1, 0, 0, 1, 0]
+        received = sent[1:] + [0]
+        assert edit_distance(sent, received) <= 2
+
+    @given(BITS, BITS)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(BITS)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @given(BITS, BITS)
+    def test_bounds(self, a, b):
+        d = edit_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(BITS, BITS, BITS)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestEditOperations:
+    def test_script_length_matches_distance(self):
+        sent, received = [1, 0, 1, 1], [0, 0, 1]
+        ops = edit_operations(sent, received)
+        non_matches = [o for o in ops if o[0] != "match"]
+        assert len(non_matches) == edit_distance(sent, received)
+
+    def test_all_match_for_identical(self):
+        ops = edit_operations([1, 1, 0], [1, 1, 0])
+        assert all(op == "match" for op, _, _ in ops)
+
+    def test_pure_insertions(self):
+        ops = edit_operations([], [1, 0])
+        assert [op for op, _, _ in ops] == ["insert", "insert"]
+
+    def test_pure_deletions(self):
+        ops = edit_operations([1, 0], [])
+        assert [op for op, _, _ in ops] == ["delete", "delete"]
+
+    @given(BITS, BITS)
+    def test_script_replays_correctly(self, sent, received):
+        """Applying the edit script to `sent` must yield `received`."""
+        ops = edit_operations(sent, received)
+        out = []
+        for op, i, j in ops:
+            if op in ("match", "substitute", "insert"):
+                out.append(received[j])
+        assert out == list(received)
+
+
+class TestChannelErrorRate:
+    def test_perfect_channel(self):
+        assert channel_error_rate([1, 0, 1], [1, 0, 1]) == 0.0
+
+    def test_normalization(self):
+        assert channel_error_rate([1, 0, 1, 1], [1, 1, 1, 1]) == 0.25
+
+    def test_empty_sent(self):
+        assert channel_error_rate([], [1, 1]) == 2.0
+
+    def test_can_exceed_one_with_insertions(self):
+        rate = channel_error_rate([1], [0, 0, 0, 0])
+        assert rate == 4.0

@@ -1,0 +1,44 @@
+"""Tests for deterministic RNG plumbing."""
+
+import random
+
+from repro.common.rng import make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_default_is_deterministic(self):
+        assert make_rng().random() == make_rng().random()
+
+    def test_int_seed(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_passthrough(self):
+        rng = random.Random(3)
+        assert make_rng(rng) is rng
+
+
+class TestSpawnRng:
+    def test_children_are_independent_streams(self):
+        parent = make_rng(1)
+        a = spawn_rng(parent, "a")
+        b = spawn_rng(parent, "b")
+        assert a.random() != b.random()
+
+    def test_label_salts_the_seed(self):
+        a = spawn_rng(make_rng(1), "x")
+        b = spawn_rng(make_rng(1), "y")
+        assert a.random() != b.random()
+
+    def test_reproducible_given_same_parent_state(self):
+        a = spawn_rng(make_rng(1), "x")
+        b = spawn_rng(make_rng(1), "x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_spawning_advances_parent(self):
+        parent = make_rng(1)
+        before = parent.getstate()
+        spawn_rng(parent, "x")
+        assert parent.getstate() != before

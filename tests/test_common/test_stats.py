@@ -1,0 +1,210 @@
+"""Tests for statistics helpers (histograms, moving average, thresholds)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import (
+    Histogram,
+    best_fit_period,
+    fraction_of_ones,
+    mean,
+    moving_average,
+    otsu_threshold,
+    percentile,
+    stdev,
+    threshold_classify,
+    variance,
+)
+
+FLOATS = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestBasicStats:
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_mean_values(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_variance_constant(self):
+        assert variance([5.0] * 10) == 0.0
+
+    def test_variance_short(self):
+        assert variance([3.0]) == 0.0
+
+    def test_stdev(self):
+        assert stdev([2.0, 4.0]) == pytest.approx(1.0)
+
+    @given(FLOATS)
+    def test_mean_within_range(self, values):
+        # Tolerance for float summation rounding on equal values.
+        eps = 1e-6 * max(1.0, max(abs(v) for v in values))
+        assert min(values) - eps <= mean(values) <= max(values) + eps
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_extremes(self):
+        data = [3, 1, 4, 1, 5]
+        assert percentile(data, 0) == min(data)
+        assert percentile(data, 100) == max(data)
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == pytest.approx(5.0)
+
+    def test_single_element(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        assert moving_average([1.0, 2.0, 3.0], 1) == [1.0, 2.0, 3.0]
+
+    def test_window_two(self):
+        assert moving_average([1.0, 3.0, 5.0], 2) == [2.0, 4.0]
+
+    def test_window_exceeds_length(self):
+        assert moving_average([2.0, 4.0], 10) == [3.0]
+
+    def test_empty_input(self):
+        assert moving_average([], 3) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+    def test_smooths_alternation(self):
+        wave = [0.0, 10.0] * 10
+        smoothed = moving_average(wave, 2)
+        assert all(v == pytest.approx(5.0) for v in smoothed)
+
+    @given(FLOATS, st.integers(min_value=1, max_value=10))
+    def test_output_length(self, values, window):
+        out = moving_average(values, window)
+        if window >= len(values):
+            assert len(out) == 1
+        else:
+            assert len(out) == len(values) - window + 1
+
+
+class TestThresholdClassify:
+    def test_above_is_one(self):
+        assert threshold_classify([1.0, 5.0], 3.0, above_is=1) == [0, 1]
+
+    def test_above_is_zero(self):
+        assert threshold_classify([1.0, 5.0], 3.0, above_is=0) == [1, 0]
+
+    def test_boundary_is_below(self):
+        assert threshold_classify([3.0], 3.0, above_is=1) == [0]
+
+
+class TestOtsuThreshold:
+    def test_bimodal_separation(self):
+        low = [10.0] * 50
+        high = [50.0] * 50
+        t = otsu_threshold(low + high)
+        assert 10.0 < t < 50.0
+
+    def test_constant_sample(self):
+        assert otsu_threshold([4.0, 4.0]) == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            otsu_threshold([])
+
+    def test_realistic_latency_split(self):
+        hits = [33, 34, 35, 33, 34] * 20
+        misses = [43, 44, 42, 45] * 20
+        t = otsu_threshold([float(x) for x in hits + misses])
+        assert 35 < t < 42
+
+
+class TestHistogram:
+    def test_add_and_total(self):
+        h = Histogram(bin_width=2.0)
+        h.extend([1.0, 1.5, 3.0])
+        assert h.total == 3
+        assert h.counts[0.0] == 2
+        assert h.counts[2.0] == 1
+
+    def test_frequencies_sum_to_one(self):
+        h = Histogram()
+        h.extend([1, 2, 2, 3])
+        assert sum(f for _, f in h.frequencies()) == pytest.approx(1.0)
+
+    def test_mode(self):
+        h = Histogram()
+        h.extend([5, 5, 5, 9])
+        assert h.mode() == 5
+
+    def test_mode_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().mode()
+
+    def test_overlap_identical(self):
+        a, b = Histogram(), Histogram()
+        for h in (a, b):
+            h.extend([1, 2, 3])
+        assert a.overlap(b) == pytest.approx(1.0)
+
+    def test_overlap_disjoint(self):
+        a, b = Histogram(), Histogram()
+        a.extend([1, 2])
+        b.extend([100, 200])
+        assert a.overlap(b) == 0.0
+
+    def test_overlap_partial(self):
+        a, b = Histogram(), Histogram()
+        a.extend([1, 1, 2, 2])
+        b.extend([2, 2, 3, 3])
+        assert a.overlap(b) == pytest.approx(0.5)
+
+    def test_overlap_empty(self):
+        assert Histogram().overlap(Histogram()) == 0.0
+
+
+class TestFractionOfOnes:
+    def test_empty(self):
+        assert fraction_of_ones([]) == 0.0
+
+    def test_mixed(self):
+        assert fraction_of_ones([1, 0, 1, 0]) == 0.5
+
+    def test_all_ones(self):
+        assert fraction_of_ones([1, 1]) == 1.0
+
+
+class TestBestFitPeriod:
+    def test_square_wave(self):
+        wave = ([0.0] * 10 + [10.0] * 10) * 6
+        assert best_fit_period(wave, 5, 20) == 10
+
+    def test_clamped_range(self):
+        wave = ([0.0] * 4 + [10.0] * 4) * 8
+        period = best_fit_period(wave, 2, 6)
+        assert 2 <= period <= 6
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_fit_period([], 1, 5)
+
+    def test_noisy_wave_recovers_period(self):
+        import random
+        rng = random.Random(1)
+        wave = []
+        for block in range(10):
+            level = 0.0 if block % 2 == 0 else 10.0
+            wave.extend(level + rng.gauss(0, 1) for _ in range(7))
+        assert best_fit_period(wave, 3, 14) == 7

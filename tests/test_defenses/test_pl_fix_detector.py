@@ -1,0 +1,122 @@
+"""Tests for the PL-cache hardening and the perf-counter detector."""
+
+import pytest
+
+from repro.channels.evaluation import random_message
+from repro.defenses.detector import MissRateDetector
+from repro.defenses.pl_fix import run_pl_cache_attack
+from repro.perf.counters import CounterBank
+
+
+class TestPLCacheAttack:
+    def test_original_design_leaks(self):
+        message = random_message(48, rng=3)
+        trace = run_pl_cache_attack(False, message, rng=4)
+        assert trace.leak_accuracy() == 1.0
+
+    def test_hardened_design_all_hits(self):
+        """Figure 11 bottom: 'receiver will always observe a cache hit'."""
+        message = random_message(48, rng=3)
+        trace = run_pl_cache_attack(True, message, rng=4)
+        assert trace.all_hits()
+        assert all(bit == 0 for bit in trace.decoded_bits)
+
+    def test_hardened_design_accuracy_is_chance(self):
+        message = random_message(64, rng=5)
+        trace = run_pl_cache_attack(True, message, rng=4)
+        assert 0.3 < trace.leak_accuracy() < 0.7
+
+    def test_trace_lengths_match_message(self):
+        message = [1, 0, 1]
+        trace = run_pl_cache_attack(False, message, rng=4)
+        assert len(trace.latencies) == 3
+        assert trace.sent_bits == message
+
+    def test_non_bit_message_rejected(self):
+        from repro.common.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            run_pl_cache_attack(False, [2])
+
+    def test_original_latencies_bimodal(self):
+        message = [0, 1] * 20
+        trace = run_pl_cache_attack(False, message, rng=4)
+        zeros = [l for l, b in zip(trace.latencies, trace.sent_bits) if b == 0]
+        ones = [l for l, b in zip(trace.latencies, trace.sent_bits) if b == 1]
+        assert max(zeros) < min(ones)
+
+
+def bank(name, refs_misses):
+    """Build a CounterBank from {tid: (refs, misses)}."""
+    b = CounterBank(level_name=name)
+    for tid, (refs, misses) in refs_misses.items():
+        for i in range(refs):
+            b.record(tid, miss=i < misses)
+    return b
+
+
+class TestMissRateDetector:
+    def test_flags_flush_reload_profile(self):
+        """F+R(mem)-like footprint: ~60% L2 and ~90% LLC misses."""
+        banks = [
+            bank("L1D", {1: (1000, 1)}),
+            bank("L2", {1: (1000, 620)}),
+            bank("LLC", {1: (1000, 880)}),
+        ]
+        verdict = MissRateDetector().judge(banks, 1)
+        assert verdict.flagged
+        assert any("L2" in r or "LLC" in r for r in verdict.reasons)
+
+    def test_passes_lru_sender_profile(self):
+        """LRU sender: ~0.03% L1D, ~10% L2, ~1% LLC (Table VI)."""
+        banks = [
+            bank("L1D", {1: (1000, 0)}),
+            bank("L2", {1: (1000, 100)}),
+            bank("LLC", {1: (1000, 10)}),
+        ]
+        assert not MissRateDetector().judge(banks, 1).flagged
+
+    def test_passes_benign_gcc_profile(self):
+        banks = [
+            bank("L1D", {1: (1000, 1)}),
+            bank("L2", {1: (1000, 310)}),
+            bank("LLC", {1: (1000, 610)}),
+        ]
+        assert not MissRateDetector().judge(banks, 1).flagged
+
+    def test_insufficient_samples(self):
+        banks = [bank("L1D", {1: (10, 10)})]
+        verdict = MissRateDetector(min_references=100).judge(banks, 1)
+        assert not verdict.flagged
+        assert "insufficient samples" in verdict.reasons
+
+    def test_scan_multiple_threads(self):
+        banks = [
+            bank("L1D", {1: (1000, 0), 2: (1000, 900)}),
+            bank("L2", {1: (1000, 0), 2: (1000, 900)}),
+        ]
+        verdicts = MissRateDetector().scan(banks, [1, 2])
+        assert [v.flagged for v in verdicts] == [False, True]
+
+    def test_detector_misses_lru_attack_end_to_end(self):
+        """Section X's conclusion, end to end: run the actual LRU covert
+        channel and show the calibrated detector does not flag the
+        sender."""
+        from repro.channels.algorithm1 import SharedMemoryLRUChannel
+        from repro.channels.protocol import (
+            CovertChannelProtocol,
+            ProtocolConfig,
+        )
+        from repro.sim.machine import Machine
+        from repro.sim.specs import INTEL_E5_2690
+
+        machine = Machine(INTEL_E5_2690, rng=7)
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=8
+        )
+        protocol = CovertChannelProtocol(
+            machine, channel, ProtocolConfig(ts=6000, tr=600)
+        )
+        protocol.run_hyper_threaded(random_message(32, rng=3))
+        verdict = MissRateDetector().judge(machine.hierarchy.counters(), 1)
+        assert not verdict.flagged

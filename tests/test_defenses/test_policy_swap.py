@@ -1,0 +1,97 @@
+"""Tests for the replacement-policy-swap defense evaluation."""
+
+import pytest
+
+from repro.defenses.policy_swap import (
+    compare_policies,
+    evaluate_policy,
+    gem5_like_config,
+    geometric_mean_overhead,
+)
+from repro.workloads.spec_like import SPEC_LIKE_PROFILES, get_profile
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_policies(
+        policies=("tree-plru", "fifo", "random"),
+        profiles=SPEC_LIKE_PROFILES[:4],
+        length=6000,
+        warmup=1000,
+        rng=5,
+    )
+
+
+class TestGem5Config:
+    def test_geometry_matches_paper(self):
+        config = gem5_like_config("tree-plru")
+        assert config.l1.size == 64 * 1024
+        assert config.l1.ways == 8
+        assert config.l2.size == 2 * 1024 * 1024
+        assert config.l2.ways == 16
+        assert config.l1.hit_latency == 4.0
+        assert config.l2.hit_latency == 8.0
+
+
+class TestEvaluatePolicy:
+    def test_returns_sane_rates(self):
+        row = evaluate_policy(
+            get_profile("hmmer"), "tree-plru", length=4000, warmup=500, rng=3
+        )
+        assert 0.0 <= row.l1_miss_rate <= 1.0
+        assert 0.0 <= row.l2_miss_rate <= 1.0
+        assert row.cpi > 0.0
+
+    def test_small_working_set_mostly_hits(self):
+        row = evaluate_policy(
+            get_profile("hmmer"), "tree-plru", length=4000, warmup=500, rng=3
+        )
+        assert row.l1_miss_rate < 0.05
+
+    def test_pointer_heavy_misses_more(self):
+        hmmer = evaluate_policy(
+            get_profile("hmmer"), "tree-plru", length=4000, warmup=500, rng=3
+        )
+        mcf = evaluate_policy(
+            get_profile("mcf"), "tree-plru", length=4000, warmup=500, rng=3
+        )
+        assert mcf.l1_miss_rate > hmmer.l1_miss_rate * 3
+
+
+class TestComparison:
+    def test_all_cells_present(self, comparison):
+        assert len(comparison.rows) == 4 * 3
+
+    def test_normalized_cpi_close_to_one(self, comparison):
+        """The paper's headline: <2% CPI change from the policy swap."""
+        for profile in SPEC_LIKE_PROFILES[:4]:
+            for policy in ("fifo", "random"):
+                norm = comparison.normalized_cpi(profile.name, policy)
+                assert 0.9 < norm < 1.05
+
+    def test_geometric_mean_under_paper_bound(self, comparison):
+        for policy in ("fifo", "random"):
+            assert geometric_mean_overhead(comparison, policy) < 1.02
+
+    def test_normalized_miss_rate_reasonable(self, comparison):
+        for profile in SPEC_LIKE_PROFILES[:4]:
+            norm = comparison.normalized_miss_rate(profile.name, "random")
+            assert 0.5 < norm < 2.0
+
+    def test_lookup_missing_raises(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.normalized_cpi("nonexistent", "fifo")
+
+    def test_geomean_missing_policy_raises(self, comparison):
+        with pytest.raises(KeyError):
+            geometric_mean_overhead(comparison, "srrip")
+
+    def test_identical_traces_across_policies(self, comparison):
+        """The sweep must replay the same addresses per policy, so the
+        baseline and defense rows are directly comparable."""
+        # Identical trace => identical demand count; compare via rates
+        # being finite and policies producing nearby (not wildly
+        # different) miss rates on policy-insensitive workloads.
+        base = comparison._lookup("bzip2", "tree-plru").l1_miss_rate
+        fifo = comparison._lookup("bzip2", "fifo").l1_miss_rate
+        assert abs(base - fifo) < 0.02

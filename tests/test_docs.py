@@ -1,0 +1,85 @@
+"""Documentation consistency checks.
+
+Docs that reference code paths rot silently; these tests parse the
+markdown and verify every referenced file, module, and experiment id
+actually exists.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _read(name: str) -> str:
+    path = ROOT / name
+    assert path.exists(), f"{name} missing"
+    return path.read_text()
+
+
+class TestRequiredDocs:
+    @pytest.mark.parametrize(
+        "name",
+        ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/PAPER_MAP.md"],
+    )
+    def test_exists_and_nonempty(self, name):
+        assert len(_read(name)) > 500
+
+
+class TestPaperMapReferences:
+    def test_all_code_paths_exist(self):
+        text = _read("docs/PAPER_MAP.md")
+        paths = set(re.findall(r"`(repro/[\w/]+\.py)`", text))
+        assert len(paths) > 15
+        for path in paths:
+            assert (ROOT / "src" / path).exists(), f"{path} referenced but missing"
+
+    def test_all_test_paths_exist(self):
+        text = _read("docs/PAPER_MAP.md")
+        paths = set(re.findall(r"`(tests/[\w/]+\.py)(?:::[\w]+)?`", text))
+        for path in paths:
+            assert (ROOT / path).exists(), f"{path} referenced but missing"
+
+
+class TestDesignExperimentIndex:
+    def test_experiment_ids_in_design_are_registered(self):
+        from repro.experiments import EXPERIMENT_REGISTRY
+
+        text = _read("DESIGN.md")
+        ids = set(re.findall(r"`(ext_\w+)`", text))
+        assert ids, "DESIGN.md lists no extension experiments"
+        for experiment_id in ids:
+            assert experiment_id in EXPERIMENT_REGISTRY, experiment_id
+
+    def test_bench_files_exist(self):
+        text = _read("DESIGN.md")
+        benches = set(re.findall(r"`(benchmarks/[\w/]+\.py)`", text))
+        for path in benches:
+            assert (ROOT / path).exists(), f"{path} referenced but missing"
+
+
+class TestExperimentsMdFreshness:
+    def test_contains_every_registered_experiment(self):
+        from repro.experiments import EXPERIMENT_REGISTRY
+
+        text = _read("EXPERIMENTS.md")
+        for experiment_id in EXPERIMENT_REGISTRY:
+            assert f"### {experiment_id}" in text, (
+                f"{experiment_id} missing from EXPERIMENTS.md; regenerate "
+                "with scripts_generate_experiments_md.py"
+            )
+
+    def test_headline_table_present(self):
+        text = _read("EXPERIMENTS.md")
+        assert "Headline comparisons" in text
+        assert "Known deviations" in text
+
+
+class TestReadmeExamplesTable:
+    def test_listed_examples_exist(self):
+        text = _read("README.md")
+        names = set(re.findall(r"`examples/([\w]+\.py)`", text))
+        for name in names:
+            assert (ROOT / "examples" / name).exists(), name

@@ -1,0 +1,70 @@
+"""Tests for the experiment scaffolding (rendering, registry)."""
+
+import pytest
+
+from repro.experiments.base import (
+    EXPERIMENT_REGISTRY,
+    ExperimentResult,
+    register,
+)
+
+
+class TestRender:
+    def test_includes_title_and_rows(self):
+        result = ExperimentResult(
+            experiment_id="t", title="A Title",
+            columns=["x", "y"], rows=[[1, 2], [3, 4]],
+        )
+        text = result.render()
+        assert "A Title" in text
+        assert "[t]" in text
+        assert "1" in text and "4" in text
+
+    def test_column_alignment(self):
+        result = ExperimentResult(
+            experiment_id="t", title="T",
+            columns=["long_column_name", "y"],
+            rows=[[1, "value"]],
+        )
+        lines = result.render().splitlines()
+        header = lines[1]
+        assert header.index("y") > len("long_column_name")
+
+    def test_float_formatting(self):
+        result = ExperimentResult(
+            experiment_id="t", title="T", columns=["v"],
+            rows=[[0.123456789]],
+        )
+        assert "0.1235" in result.render()
+
+    def test_paper_expectation_and_notes_shown(self):
+        result = ExperimentResult(
+            experiment_id="t", title="T",
+            paper_expectation="expected X", notes="deviation Y",
+        )
+        text = result.render()
+        assert "paper: expected X" in text
+        assert "notes: deviation Y" in text
+
+    def test_empty_rows_render(self):
+        result = ExperimentResult(experiment_id="t", title="T")
+        assert result.render().startswith("[t] T")
+
+
+class TestRegistry:
+    def test_register_decorator(self):
+        @register("zz_test_only")
+        def run():
+            return ExperimentResult(experiment_id="zz_test_only", title="x")
+
+        try:
+            assert EXPERIMENT_REGISTRY["zz_test_only"] is run
+        finally:
+            del EXPERIMENT_REGISTRY["zz_test_only"]
+
+    def test_run_all_subset(self):
+        from repro.experiments.base import run_all
+
+        results = run_all(["table2"])
+        assert len(results) == 1
+        assert results[0].experiment_id == "table2"

@@ -1,0 +1,203 @@
+"""End-to-end integration tests crossing all subsystem boundaries.
+
+Each test here is a miniature of one of the paper's claims, run through
+the full stack (machine → scheduler → hierarchy → channel → decoder).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.channels.algorithm1 import SharedMemoryLRUChannel
+from repro.channels.algorithm2 import NoSharedMemoryLRUChannel
+from repro.channels.evaluation import evaluate_hyper_threaded, random_message
+from repro.channels.protocol import CovertChannelProtocol, ProtocolConfig
+from repro.sim.machine import Machine
+from repro.sim.specs import AMD_EPYC_7571, INTEL_E5_2690
+
+
+class TestCovertChannelEndToEnd:
+    def test_alg1_transfers_random_message(self):
+        machine = Machine(INTEL_E5_2690, rng=42)
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=8
+        )
+        evaluation = evaluate_hyper_threaded(
+            machine, channel, ProtocolConfig(ts=6000, tr=600),
+            random_message(64, rng=7), repeats=2,
+        )
+        assert evaluation.error_rate < 0.30
+
+    def test_alg2_transfers_random_message(self):
+        machine = Machine(INTEL_E5_2690, rng=42)
+        channel = NoSharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=5
+        )
+        evaluation = evaluate_hyper_threaded(
+            machine, channel, ProtocolConfig(ts=6000, tr=600),
+            random_message(64, rng=7), repeats=2,
+        )
+        assert evaluation.error_rate < 0.40
+
+    def test_alg2_even_d_pathology(self):
+        """Paper Section V-A: even d is much worse for Algorithm 2 on
+        Tree-PLRU ('even d makes the Tree-PLRU state point to another
+        side of the subtree')."""
+        def error_for(d):
+            machine = Machine(INTEL_E5_2690, rng=42)
+            channel = NoSharedMemoryLRUChannel.build(
+                machine.spec.hierarchy.l1, 1, d=d
+            )
+            return evaluate_hyper_threaded(
+                machine, channel, ProtocolConfig(ts=6000, tr=600),
+                random_message(48, rng=7), repeats=2,
+            ).error_rate
+
+        assert error_for(4) > 2 * error_for(5)
+
+    def test_faster_rate_higher_error(self):
+        """Figure 4's main trend: with time-rate environment noise,
+        faster transmission (smaller Ts) has a higher error rate."""
+        def error_for(ts):
+            machine = Machine(INTEL_E5_2690, rng=42)
+            channel = SharedMemoryLRUChannel.build(
+                machine.spec.hierarchy.l1, 1, d=8
+            )
+            config = ProtocolConfig(
+                ts=ts, tr=600, noise_events_per_mcycle=100.0
+            )
+            return evaluate_hyper_threaded(
+                machine, channel, config,
+                random_message(48, rng=7), repeats=2,
+            ).error_rate
+
+        assert error_for(30000) <= error_for(4500)
+
+    def test_intel_rate_matches_paper_ballpark(self):
+        machine = Machine(INTEL_E5_2690, rng=42)
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=8
+        )
+        evaluation = evaluate_hyper_threaded(
+            machine, channel, ProtocolConfig(ts=6000, tr=600),
+            random_message(32, rng=7), repeats=1,
+        )
+        # Paper: 480 Kbps on the E5-2690 at Ts=6000.
+        assert 300 < evaluation.transmission_rate_kbps < 650
+
+
+class TestAMDWayPredictorEndToEnd:
+    def test_alg1_cross_process_broken_on_amd(self):
+        """Section VI-B: the utag makes cross-address-space Algorithm 1
+        unusable on AMD — the receiver sees miss latency regardless."""
+        machine = Machine(AMD_EPYC_7571, rng=42)
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=8
+        )
+        protocol = CovertChannelProtocol(
+            machine, channel,
+            ProtocolConfig(ts=20000, tr=1000, sender_space=1),
+        )
+        run = protocol.run_hyper_threaded([1] * 6)
+        # The sender's touches retag line 0 to its own linear address,
+        # so the receiver's timed reload mispredicts: elevated latency
+        # (way-predictor miss) dominates, decoding mostly as 0.
+        from repro.channels.decoder import percent_ones
+
+        assert percent_ones(run) < 0.5
+
+    def test_alg1_same_address_space_works_on_amd(self):
+        """The paper's workaround: pthreads in one address space."""
+        machine = Machine(AMD_EPYC_7571, rng=42)
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=8
+        )
+        protocol = CovertChannelProtocol(
+            machine, channel,
+            ProtocolConfig(ts=20000, tr=1000, sender_space=0),
+        )
+        run = protocol.run_hyper_threaded([1] * 6)
+        from repro.channels.decoder import percent_ones
+
+        end = run.bit_boundaries[-1] + 20000
+        run.observations = [o for o in run.observations if o.timestamp <= end]
+        assert percent_ones(run) > 0.6
+
+    def test_alg2_unaffected_by_way_predictor(self):
+        """Algorithm 2 never reloads sender-touched lines, so the utag
+        does not break it across processes (Section VI-C)."""
+        machine = Machine(AMD_EPYC_7571, rng=42)
+        channel = NoSharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=5
+        )
+        # The coarse AMD TSC makes per-sample decoding useless (the
+        # paper needs moving averages); the oracle-window decoder
+        # majority-votes the ~20 samples per bit instead.
+        evaluation = evaluate_hyper_threaded(
+            machine, channel, ProtocolConfig(ts=20000, tr=1000),
+            random_message(24, rng=3), repeats=2, decoder="window",
+        )
+        assert evaluation.error_rate < 0.35
+
+
+class TestDefensesEndToEnd:
+    @pytest.mark.parametrize("policy", ["fifo", "random"])
+    def test_policy_swap_removes_hit_based_leak(self, policy):
+        """Section IX-A: with FIFO/random replacement a sender that
+        only *hits* leaves no observable trace — the defining leak of
+        the LRU channel is gone.  (The paper notes the sender's misses
+        can still leak through classic reuse channels; that part is
+        exercised by the F+R baselines.)"""
+        base = INTEL_E5_2690.hierarchy
+        l1 = dataclasses.replace(base.l1, policy=policy)
+        config = dataclasses.replace(base, l1=l1)
+        from repro.cache.hierarchy import CacheHierarchy
+
+        def decoded_bit(sender_bit, seed):
+            hierarchy = CacheHierarchy(config, rng=seed)
+            channel = SharedMemoryLRUChannel.build(l1, 1, d=8)
+            # Line 0 resident: the sender's encode is a pure hit.
+            hierarchy.load(channel.probe_address, count=False)
+            for address in channel.init_addresses():
+                hierarchy.load(address, thread_id=0)
+            if sender_bit:
+                outcome = hierarchy.load(
+                    channel.layout.sender_line, thread_id=1,
+                    address_space=1,
+                )
+                assert outcome.l1_hit  # hit-only sender, by construction
+            for address in channel.decode_addresses():
+                hierarchy.load(address, thread_id=0)
+            return channel.decode_bit(
+                hierarchy.load(channel.probe_address, thread_id=0).l1_hit
+            )
+
+        # Over many trials the receiver's observation must be
+        # independent of the sender's bit.
+        ones_when_0 = sum(decoded_bit(0, s) for s in range(30))
+        ones_when_1 = sum(decoded_bit(1, s) for s in range(30))
+        assert abs(ones_when_1 - ones_when_0) <= 3
+
+    def test_invisible_speculation_blocks_spectre_lru(self):
+        """Section IX-B (InvisiSpec): state updates deferred past
+        speculation close the transient LRU channel."""
+        from repro.attacks.spectre import SpectreConfig, SpectreV1
+
+        secret = [7, 42, 13]
+        machine = Machine(INTEL_E5_2690, rng=5, invisible_speculation=True)
+        attack = SpectreV1(
+            machine, secret, disclosure="lru_alg1",
+            config=SpectreConfig(rounds=3), rng=9,
+        )
+        assert attack.recover().accuracy(secret) < 0.5
+
+    def test_invisible_speculation_blocks_spectre_fr(self):
+        from repro.attacks.spectre import SpectreConfig, SpectreV1
+
+        secret = [7, 42, 13]
+        machine = Machine(INTEL_E5_2690, rng=5, invisible_speculation=True)
+        attack = SpectreV1(
+            machine, secret, disclosure="flush_reload",
+            config=SpectreConfig(rounds=3), rng=9,
+        )
+        assert attack.recover().accuracy(secret) < 0.5

@@ -1,0 +1,105 @@
+"""Tests for performance counters and the CPI model."""
+
+import pytest
+
+from repro.perf.counters import CounterBank, MissRateReport
+from repro.perf.cpi import CPIModel, CPIModelConfig
+
+
+class TestCounterBank:
+    def test_record_and_rates(self):
+        bank = CounterBank("L1D")
+        bank.record(1, miss=True)
+        bank.record(1, miss=False)
+        bank.record(1, miss=False)
+        assert bank.miss_rate(1) == pytest.approx(1 / 3)
+
+    def test_per_thread_isolation(self):
+        bank = CounterBank()
+        bank.record(1, miss=True)
+        bank.record(2, miss=False)
+        assert bank.miss_rate(1) == 1.0
+        assert bank.miss_rate(2) == 0.0
+
+    def test_aggregate_rate(self):
+        bank = CounterBank()
+        bank.record(1, miss=True)
+        bank.record(2, miss=False)
+        assert bank.miss_rate(None) == 0.5
+
+    def test_zero_references(self):
+        assert CounterBank().miss_rate(9) == 0.0
+
+    def test_totals(self):
+        bank = CounterBank()
+        for _ in range(5):
+            bank.record(3, miss=True)
+        assert bank.total_references(3) == 5
+        assert bank.total_misses(3) == 5
+        assert bank.total_references(None) == 5
+
+    def test_reset(self):
+        bank = CounterBank()
+        bank.record(1, miss=True)
+        bank.reset()
+        assert bank.total_references(None) == 0
+
+
+class TestMissRateReport:
+    def test_render_contains_rows(self):
+        report = MissRateReport("Table VI")
+        report.add("F+R (mem)", 0.0007, 0.62, 0.88)
+        text = report.render()
+        assert "Table VI" in text
+        assert "F+R (mem)" in text
+        assert "62.00%" in text
+
+    def test_add_from_banks(self):
+        l1 = CounterBank("L1D")
+        l2 = CounterBank("L2")
+        l1.record(1, miss=True)
+        l2.record(1, miss=False)
+        report = MissRateReport()
+        report.add_from_banks("sender", [l1, l2], thread_id=1)
+        assert report.rows[0].l1d == 1.0
+        assert report.rows[0].l2 == 0.0
+
+
+class TestCPIModel:
+    def test_zero_misses_gives_base(self):
+        model = CPIModel(CPIModelConfig(base_cpi=0.6))
+        assert model.cpi(0.0, 0.0) == pytest.approx(0.6)
+
+    def test_monotone_in_l1_misses(self):
+        model = CPIModel()
+        assert model.cpi(0.2, 0.3) > model.cpi(0.1, 0.3) > model.cpi(0.0, 0.3)
+
+    def test_monotone_in_l2_misses(self):
+        model = CPIModel()
+        assert model.cpi(0.1, 0.5) > model.cpi(0.1, 0.1)
+
+    def test_memory_dominates(self):
+        model = CPIModel()
+        # All-miss workload should be memory-latency bound.
+        assert model.cpi(1.0, 1.0) > 20
+
+    def test_rate_validation(self):
+        model = CPIModel()
+        with pytest.raises(ValueError):
+            model.cpi(-0.1, 0.0)
+        with pytest.raises(ValueError):
+            model.cpi(0.0, 1.5)
+
+    def test_normalized_cpi(self):
+        model = CPIModel()
+        norm = model.normalized_cpi(0.05, 0.3, 0.05, 0.3)
+        assert norm == pytest.approx(1.0)
+
+    def test_normalized_direction(self):
+        model = CPIModel()
+        assert model.normalized_cpi(0.06, 0.3, 0.05, 0.3) > 1.0
+
+    def test_mlp_reduces_stalls(self):
+        fast = CPIModel(CPIModelConfig(mlp=4.0))
+        slow = CPIModel(CPIModelConfig(mlp=1.0))
+        assert fast.cpi(0.1, 0.3) < slow.cpi(0.1, 0.3)

@@ -1,0 +1,69 @@
+"""Tests for Bit-PLRU (MRU) replacement."""
+
+import pytest
+
+from repro.replacement.bit_plru import BitPLRU
+
+
+class TestBitPLRU:
+    def test_power_on_victim_is_way_zero(self):
+        assert BitPLRU(8).victim() == 0
+
+    def test_touch_sets_mru_bit(self):
+        policy = BitPLRU(4)
+        policy.touch(2)
+        assert policy.mru_bit(2) == 1
+
+    def test_victim_is_lowest_zero_bit(self):
+        policy = BitPLRU(4)
+        policy.touch(0)
+        policy.touch(1)
+        assert policy.victim() == 2
+
+    def test_saturation_resets_all_bits(self):
+        # Paper Section II-B: "Once all the ways have the MRU-bit set to
+        # 1, all the MRU-bits are reset to 0" — including the accessed
+        # way.  This semantic drives Table I's 100%/99% convergence.
+        policy = BitPLRU(4)
+        for way in range(4):
+            policy.touch(way)
+        assert policy.state_snapshot() == (0, 0, 0, 0)
+        assert policy.victim() == 0
+
+    def test_partial_saturation_keeps_bits(self):
+        policy = BitPLRU(4)
+        for way in (0, 1, 2):
+            policy.touch(way)
+        assert policy.state_snapshot() == (1, 1, 1, 0)
+        assert policy.victim() == 3
+
+    def test_state_bits_is_n(self):
+        assert BitPLRU(8).state_bits == 8
+
+    def test_invalid_ways_fill_first(self):
+        policy = BitPLRU(4)
+        policy.touch(0)
+        valid = [True, True, False, True]
+        assert policy.victim(valid) == 2
+
+    def test_snapshot_roundtrip(self):
+        policy = BitPLRU(4)
+        policy.touch(1)
+        snap = policy.state_snapshot()
+        policy.touch(3)
+        policy.state_restore(snap)
+        assert policy.state_snapshot() == snap
+
+    def test_bad_snapshot(self):
+        with pytest.raises(ValueError):
+            BitPLRU(4).state_restore((0, 1, 2, 0))
+
+    def test_all_ones_snapshot_falls_back_to_way0(self):
+        policy = BitPLRU(4)
+        policy.state_restore((1, 1, 1, 1))
+        assert policy.victim() == 0
+
+    def test_single_way(self):
+        policy = BitPLRU(1)
+        policy.touch(0)
+        assert policy.victim() == 0

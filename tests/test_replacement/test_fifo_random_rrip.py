@@ -1,0 +1,146 @@
+"""Tests for the defense policies: FIFO, Random, and SRRIP."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.replacement.fifo import FIFO
+from repro.replacement.random_policy import RandomPolicy
+from repro.replacement.rrip import SRRIP
+
+
+class TestFIFO:
+    def test_power_on_victim(self):
+        assert FIFO(4).victim() == 0
+
+    def test_fill_advances_pointer(self):
+        fifo = FIFO(4)
+        fifo.on_fill(0)
+        assert fifo.victim() == 1
+
+    def test_hits_do_not_advance_pointer(self):
+        # The security property of Section IX-A: FIFO state only moves
+        # on fills, so hit-encoding senders leave no trace.
+        fifo = FIFO(4)
+        fifo.on_fill(0)
+        before = fifo.state_snapshot()
+        for way in (0, 1, 2, 3, 1, 0):
+            fifo.touch(way)
+        assert fifo.state_snapshot() == before
+
+    def test_round_robin_wraps(self):
+        fifo = FIFO(2)
+        fifo.on_fill(0)
+        fifo.on_fill(1)
+        assert fifo.victim() == 0
+
+    def test_fill_of_other_way_does_not_advance(self):
+        fifo = FIFO(4)
+        fifo.on_fill(2)  # not the pointer's way
+        assert fifo.victim() == 0
+
+    def test_invalid_first(self):
+        fifo = FIFO(4)
+        assert fifo.victim([True, True, False, True]) == 2
+
+    def test_state_bits(self):
+        assert FIFO(8).state_bits == 3
+        assert FIFO(2).state_bits == 1
+
+    def test_snapshot(self):
+        fifo = FIFO(4)
+        fifo.on_fill(0)
+        snap = fifo.state_snapshot()
+        fifo.on_fill(1)
+        fifo.state_restore(snap)
+        assert fifo.victim() == 1
+
+    def test_bad_snapshot(self):
+        with pytest.raises(ValueError):
+            FIFO(4).state_restore((9,))
+
+
+class TestRandomPolicy:
+    def test_stateless(self):
+        policy = RandomPolicy(4, rng=1)
+        assert policy.state_bits == 0
+        assert policy.state_snapshot() == ()
+
+    def test_touch_has_no_effect_on_distribution(self):
+        # Section IX-A: random replacement keeps no state, so the
+        # sender's accesses cannot bias victim selection.
+        a = RandomPolicy(4, rng=7)
+        b = RandomPolicy(4, rng=7)
+        for way in (0, 1, 2, 0, 1):
+            a.touch(way)
+        assert [a.victim() for _ in range(20)] == [b.victim() for _ in range(20)]
+
+    def test_victims_cover_all_ways(self):
+        policy = RandomPolicy(4, rng=3)
+        seen = {policy.victim() for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_uniformity(self):
+        policy = RandomPolicy(4, rng=5)
+        counts = [0] * 4
+        for _ in range(4000):
+            counts[policy.victim()] += 1
+        for c in counts:
+            assert 800 < c < 1200
+
+    def test_invalid_first(self):
+        policy = RandomPolicy(4, rng=1)
+        assert policy.victim([True, False, True, True]) == 1
+
+    def test_bad_snapshot(self):
+        with pytest.raises(ValueError):
+            RandomPolicy(2).state_restore((1,))
+
+
+class TestSRRIP:
+    def test_power_on_all_distant(self):
+        srrip = SRRIP(4)
+        assert srrip.victim() == 0
+
+    def test_fill_inserts_long(self):
+        srrip = SRRIP(4, rrpv_bits=2)
+        srrip.on_fill(1)
+        assert srrip.state_snapshot()[1] == 2  # max_rrpv - 1
+
+    def test_hit_promotes_to_near(self):
+        srrip = SRRIP(4)
+        srrip.on_fill(1)
+        srrip.touch(1)
+        assert srrip.state_snapshot()[1] == 0
+
+    def test_aging_when_no_distant_way(self):
+        srrip = SRRIP(2, rrpv_bits=2)
+        srrip.touch(0)
+        srrip.touch(1)
+        # All RRPVs are 0; victim search must age everyone up to 3.
+        assert srrip.victim() == 0
+        assert all(r == 3 for r in srrip.state_snapshot())
+
+    def test_victim_prefers_lowest_index(self):
+        srrip = SRRIP(4)
+        srrip.touch(0)
+        assert srrip.victim() == 1
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SRRIP(4, rrpv_bits=0)
+
+    def test_state_bits(self):
+        assert SRRIP(8, rrpv_bits=2).state_bits == 16
+
+    def test_snapshot_roundtrip(self):
+        srrip = SRRIP(4)
+        srrip.on_fill(2)
+        snap = srrip.state_snapshot()
+        srrip.touch(2)
+        srrip.state_restore(snap)
+        assert srrip.state_snapshot() == snap
+
+    def test_bad_snapshot(self):
+        with pytest.raises(ValueError):
+            SRRIP(4).state_restore((0, 0, 9, 0))

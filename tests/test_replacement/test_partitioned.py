@@ -1,0 +1,79 @@
+"""Tests for DAWG-style partitioned PLRU."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.replacement.partitioned import PartitionedPLRU
+
+
+class TestPartitionedPLRU:
+    def test_way_counts_must_sum(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedPLRU(8, {0: 4, 1: 2})
+
+    def test_default_single_domain(self):
+        policy = PartitionedPLRU(8)
+        assert policy.domain_of(0) == 0
+        assert policy.domain_of(7) == 0
+
+    def test_domain_assignment(self):
+        policy = PartitionedPLRU(8, {0: 4, 1: 4})
+        assert policy.domain_of(3) == 0
+        assert policy.domain_of(4) == 1
+
+    def test_victim_confined_to_domain(self):
+        policy = PartitionedPLRU(8, {0: 4, 1: 4})
+        for _ in range(5):
+            assert 0 <= policy.victim_for(0) < 4
+            assert 4 <= policy.victim_for(1) < 8
+
+    def test_isolation_of_replacement_state(self):
+        """The DAWG security property (Section IX-B): one domain's
+        accesses never change another domain's victim choice."""
+        policy = PartitionedPLRU(8, {0: 4, 1: 4})
+        victim_before = policy.victim_for(1)
+        # Domain 0 hammers its ways (this is an attacker's sender).
+        for way in (0, 1, 2, 3, 0, 2, 1, 3):
+            policy.touch(way)
+        assert policy.victim_for(1) == victim_before
+
+    def test_own_domain_state_still_works(self):
+        policy = PartitionedPLRU(8, {0: 4, 1: 4})
+        for way in (4, 5, 6, 7):
+            policy.touch(way)
+        assert policy.victim_for(1) == 4
+
+    def test_unknown_domain(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedPLRU(8, {0: 8}).victim_for(3)
+
+    def test_valid_mask_sliced_per_domain(self):
+        policy = PartitionedPLRU(8, {0: 4, 1: 4})
+        valid = [True] * 8
+        valid[6] = False
+        assert policy.victim_for(1, valid) == 6
+        # Domain 0 ignores domain 1's invalid way.
+        assert 0 <= policy.victim_for(0, valid) < 4
+
+    def test_state_bits_sum(self):
+        policy = PartitionedPLRU(8, {0: 4, 1: 4})
+        assert policy.state_bits == 3 + 3
+
+    def test_snapshot_roundtrip(self):
+        policy = PartitionedPLRU(8, {0: 4, 1: 4})
+        policy.touch(1)
+        policy.touch(6)
+        snap = policy.state_snapshot()
+        policy.touch(0)
+        policy.state_restore(snap)
+        assert policy.state_snapshot() == snap
+
+    def test_partition_sizes_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedPLRU(8, {0: 5, 1: 3})
+
+    def test_reset(self):
+        policy = PartitionedPLRU(8, {0: 4, 1: 4})
+        policy.touch(5)
+        policy.reset()
+        assert policy.victim_for(1) == 4

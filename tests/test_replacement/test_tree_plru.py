@@ -1,0 +1,127 @@
+"""Tests for Tree-PLRU, bit-exact against hand-computed tree states."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.replacement.tree_plru import TreePLRU
+
+
+class TestTreePLRUStructure:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            TreePLRU(6)
+
+    def test_state_bits_is_n_minus_one(self):
+        assert TreePLRU(8).state_bits == 7
+        assert TreePLRU(4).state_bits == 3
+        assert TreePLRU(2).state_bits == 1
+
+    def test_power_on_victim_is_way_zero(self):
+        assert TreePLRU(8).victim() == 0
+
+
+class TestTreePLRUTwoWay:
+    """2-way Tree-PLRU is a single bit — exhaustively checkable."""
+
+    def test_touch_zero_points_victim_at_one(self):
+        tree = TreePLRU(2)
+        tree.touch(0)
+        assert tree.victim() == 1
+
+    def test_touch_one_points_victim_at_zero(self):
+        tree = TreePLRU(2)
+        tree.touch(1)
+        assert tree.victim() == 0
+
+    def test_alternating_touches(self):
+        tree = TreePLRU(2)
+        for way in (0, 1, 0, 1, 0):
+            tree.touch(way)
+        assert tree.victim() == 1
+
+
+class TestTreePLRUFourWay:
+    def test_sequential_fill_victim(self):
+        tree = TreePLRU(4)
+        for way in range(4):
+            tree.touch(way)
+        assert tree.victim() == 0
+
+    def test_hand_computed_state(self):
+        # Touch way 2: path nodes are root (node 1) and node 3.
+        # Root must point left (0), node 3 must point right (1).
+        tree = TreePLRU(4)
+        tree.touch(2)
+        assert tree.node_bit(1) == 0
+        assert tree.node_bit(3) == 1
+        assert tree.victim() == 0  # root->left, node2 default left
+
+    def test_victim_never_most_recent(self):
+        tree = TreePLRU(4)
+        for way in (3, 1, 2, 0, 2):
+            tree.touch(way)
+            assert tree.victim() != way
+
+
+class TestTreePLRUEightWay:
+    def test_sequential_order_victim_way0(self):
+        tree = TreePLRU(8)
+        for way in range(8):
+            tree.touch(way)
+        assert tree.victim() == 0
+
+    def test_sender_refresh_redirects_victim_to_other_half(self):
+        # The mechanism behind Algorithm 1: after 0..7 in order the
+        # victim is way 0; the sender's touch of way 0 flips the root,
+        # sending the victim into the 4-7 subtree.
+        tree = TreePLRU(8)
+        for way in range(8):
+            tree.touch(way)
+        tree.touch(0)
+        assert tree.victim() == 4
+
+    def test_plru_is_not_true_lru(self):
+        # The defining approximation: the least-recently-used way is not
+        # always the victim.  After 0..7 then 0,1,2,3, true LRU would
+        # evict way 4; Tree-PLRU picks from the other subtree too.
+        tree = TreePLRU(8)
+        for way in list(range(8)) + [0, 1, 2, 3]:
+            tree.touch(way)
+        assert tree.victim() == 4  # here PLRU agrees...
+        tree.touch(4)
+        # ...but after touching 4, true LRU says 5; PLRU flips to the
+        # left half entirely.
+        assert tree.victim() != 5
+
+    def test_invalid_ways_fill_first(self):
+        tree = TreePLRU(8)
+        tree.touch(3)
+        valid = [True] * 8
+        valid[6] = False
+        assert tree.victim(valid) == 6
+
+
+class TestTreePLRUSnapshot:
+    def test_roundtrip(self):
+        tree = TreePLRU(8)
+        for way in (1, 5, 2):
+            tree.touch(way)
+        snap = tree.state_snapshot()
+        tree.touch(7)
+        tree.state_restore(snap)
+        assert tree.state_snapshot() == snap
+
+    def test_bad_snapshot_length(self):
+        with pytest.raises(ValueError):
+            TreePLRU(8).state_restore((0, 1))
+
+    def test_bad_snapshot_values(self):
+        with pytest.raises(ValueError):
+            TreePLRU(4).state_restore((0, 2, 0, 0))
+
+    def test_node_bit_bounds(self):
+        tree = TreePLRU(4)
+        with pytest.raises(ValueError):
+            tree.node_bit(0)
+        with pytest.raises(ValueError):
+            tree.node_bit(4)

@@ -1,0 +1,79 @@
+"""Tests for the exact-LRU policy."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.replacement.true_lru import TrueLRU
+
+
+class TestTrueLRU:
+    def test_power_on_victim_is_last_way(self):
+        assert TrueLRU(8).victim() == 7
+
+    def test_touch_moves_to_front(self):
+        lru = TrueLRU(4)
+        lru.touch(3)
+        assert lru.age_of(3) == 0
+
+    def test_victim_is_least_recent(self):
+        lru = TrueLRU(4)
+        for way in (0, 1, 2, 3):
+            lru.touch(way)
+        assert lru.victim() == 0
+
+    def test_sequence_1_always_evicts_line_0_way(self):
+        # The Section IV-C claim: under true LRU the way holding the
+        # oldest line is always the victim.
+        lru = TrueLRU(8)
+        for way in range(8):
+            lru.touch(way)
+        assert lru.victim() == 0
+        lru.touch(0)  # sender refreshes line 0
+        assert lru.victim() == 1
+
+    def test_invalid_way_first(self):
+        lru = TrueLRU(4)
+        lru.touch(3)
+        valid = [True, False, True, True]
+        assert lru.victim(valid) == 1
+
+    def test_invalid_mask_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            TrueLRU(4).victim([True, True])
+
+    def test_way_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            TrueLRU(4).touch(4)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrueLRU(0)
+
+    def test_snapshot_roundtrip(self):
+        lru = TrueLRU(4)
+        lru.touch(2)
+        snap = lru.state_snapshot()
+        lru.touch(0)
+        lru.state_restore(snap)
+        assert lru.state_snapshot() == snap
+
+    def test_bad_snapshot_rejected(self):
+        with pytest.raises(ValueError):
+            TrueLRU(4).state_restore((0, 0, 1, 2))
+
+    def test_state_bits(self):
+        assert TrueLRU(8).state_bits == 8 * 3
+        assert TrueLRU(4).state_bits == 4 * 2
+        assert TrueLRU(1).state_bits == 1
+
+    def test_age_ordering_full_history(self):
+        lru = TrueLRU(4)
+        for way in (2, 0, 3, 1):
+            lru.touch(way)
+        assert [lru.age_of(w) for w in (1, 3, 0, 2)] == [0, 1, 2, 3]
+
+    def test_reset(self):
+        lru = TrueLRU(4)
+        lru.touch(3)
+        lru.reset()
+        assert lru.victim() == 3

@@ -1,0 +1,86 @@
+"""Tests for machine presets and the Machine wrapper."""
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.sim.ops import Access
+from repro.sim.specs import (
+    ALL_SPECS,
+    AMD_EPYC_7571,
+    INTEL_E3_1245V5,
+    INTEL_E5_2690,
+)
+from repro.sim.thread import SimThread
+
+
+class TestSpecs:
+    def test_paper_table3_geometry(self):
+        """Table III: 32 KiB, 8-way, 64-set L1D on every platform."""
+        for spec in ALL_SPECS:
+            assert spec.hierarchy.l1.size == 32 * 1024
+            assert spec.hierarchy.l1.ways == 8
+            assert spec.hierarchy.l1.num_sets == 64
+
+    def test_paper_frequencies(self):
+        assert INTEL_E5_2690.frequency_ghz == 3.8
+        assert INTEL_E3_1245V5.frequency_ghz == 3.9
+        assert AMD_EPYC_7571.frequency_ghz == 2.5
+
+    def test_amd_has_way_predictor(self):
+        assert AMD_EPYC_7571.hierarchy.way_predictor
+        assert not INTEL_E5_2690.hierarchy.way_predictor
+
+    def test_amd_l2_latency_17(self):
+        assert AMD_EPYC_7571.hierarchy.l2.hit_latency == 17.0
+
+    def test_seconds_conversion(self):
+        assert INTEL_E5_2690.seconds(3.8e9) == pytest.approx(1.0)
+
+    def test_bits_per_second(self):
+        # Ts=6000 at 3.8 GHz: the paper's nominal ~633 Kbps ceiling.
+        rate = INTEL_E5_2690.bits_per_second(1, 6000)
+        assert rate == pytest.approx(633_333, rel=0.01)
+
+    def test_bits_per_second_validates(self):
+        with pytest.raises(ValueError):
+            INTEL_E5_2690.bits_per_second(1, 0)
+
+
+class TestMachine:
+    def test_default_spec(self):
+        assert Machine().spec is INTEL_E5_2690
+
+    def test_amd_machine_wires_way_predictor(self):
+        machine = Machine(AMD_EPYC_7571, rng=1)
+        assert machine.l1.way_predictor is not None
+
+    def test_intel_machine_has_no_way_predictor(self):
+        machine = Machine(INTEL_E5_2690, rng=1)
+        assert machine.l1.way_predictor is None
+
+    def test_hierarchy_latencies_match_spec(self):
+        machine = Machine(AMD_EPYC_7571, rng=1)
+        machine.hierarchy.load(0)
+        assert machine.hierarchy.load(0).latency == 4.0
+
+    def test_scheduler_factories(self):
+        machine = Machine(INTEL_E5_2690, rng=1)
+        log = []
+
+        def program():
+            outcome = yield Access(0)
+            log.append(outcome)
+
+        t = SimThread("t", program)
+        machine.hyper_threaded([t]).run()
+        assert len(log) == 1
+
+    def test_deterministic_from_seed(self):
+        a = Machine(INTEL_E5_2690, rng=9)
+        b = Machine(INTEL_E5_2690, rng=9)
+        assert [a.tsc.measure(10.0) for _ in range(5)] == [
+            b.tsc.measure(10.0) for _ in range(5)
+        ]
+
+    def test_repr(self):
+        assert "E5-2690" in repr(Machine(INTEL_E5_2690))

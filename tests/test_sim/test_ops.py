@@ -1,0 +1,43 @@
+"""Tests for the thread-operation primitives."""
+
+import pytest
+
+from repro.common.types import AccessType
+from repro.sim.ops import Access, Compute, ReadTSC, READ_TSC_COST, SleepUntil
+
+
+class TestAccess:
+    def test_defaults(self):
+        op = Access(address=64)
+        assert op.access_type == AccessType.LOAD
+        assert op.count
+        assert not op.speculative and not op.locked and not op.unlock
+
+    def test_frozen(self):
+        op = Access(address=0)
+        with pytest.raises(Exception):
+            op.address = 1  # type: ignore[misc]
+
+    def test_flags(self):
+        op = Access(address=0, locked=True, speculative=True, count=False)
+        assert op.locked and op.speculative and not op.count
+
+
+class TestCompute:
+    def test_zero_allowed(self):
+        assert Compute(0.0).cycles == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+
+class TestTimerOps:
+    def test_read_tsc_cost_positive(self):
+        assert READ_TSC_COST > 0
+
+    def test_sleep_until_carries_deadline(self):
+        assert SleepUntil(cycle=500.0).cycle == 500.0
+
+    def test_read_tsc_is_stateless_marker(self):
+        assert ReadTSC() == ReadTSC()

@@ -1,0 +1,108 @@
+"""Tests for the access tracer."""
+
+import pytest
+
+from repro.cache.config import HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.types import CacheLevel
+from repro.sim.tracing import AccessTracer
+
+
+@pytest.fixture
+def traced():
+    hierarchy = CacheHierarchy(HierarchyConfig(), rng=1)
+    tracer = AccessTracer.attach(hierarchy)
+    yield hierarchy, tracer
+    tracer.detach()
+
+
+class TestAccessTracer:
+    def test_records_events_in_order(self, traced):
+        hierarchy, tracer = traced
+        hierarchy.load(0, thread_id=0)
+        hierarchy.load(64, thread_id=1)
+        assert [e.thread_id for e in tracer.events] == [0, 1]
+        assert [e.sequence for e in tracer.events] == [0, 1]
+
+    def test_event_fields(self, traced):
+        hierarchy, tracer = traced
+        hierarchy.load(5 * 64, thread_id=2)
+        event = tracer.events[0]
+        assert event.address == 5 * 64
+        assert event.set_index == 5
+        assert event.hit_level == CacheLevel.MEMORY
+        assert event.latency == 200.0
+
+    def test_for_set_filters(self, traced):
+        hierarchy, tracer = traced
+        hierarchy.load(0)
+        hierarchy.load(64)
+        hierarchy.load(0)
+        assert len(tracer.for_set(0)) == 2
+        assert len(tracer.for_set(1)) == 1
+
+    def test_for_thread_filters(self, traced):
+        hierarchy, tracer = traced
+        hierarchy.load(0, thread_id=0)
+        hierarchy.load(0, thread_id=1)
+        assert len(tracer.for_thread(1)) == 1
+
+    def test_interleavings(self, traced):
+        hierarchy, tracer = traced
+        for thread in (0, 0, 1, 0):
+            hierarchy.load(0, thread_id=thread)
+        assert tracer.interleavings(0) == [(0, 1), (1, 0)]
+
+    def test_miss_events(self, traced):
+        hierarchy, tracer = traced
+        hierarchy.load(0)   # memory miss
+        hierarchy.load(0)   # L1 hit
+        assert len(tracer.miss_events()) == 1
+
+    def test_render(self, traced):
+        hierarchy, tracer = traced
+        hierarchy.load(0, thread_id=0)
+        hierarchy.load(0, thread_id=1)
+        assert tracer.render(0) == "t0M t1H"
+
+    def test_detach_restores(self, traced):
+        hierarchy, tracer = traced
+        hierarchy.load(0)
+        tracer.detach()
+        hierarchy.load(64)
+        assert len(tracer.events) == 1  # second load untraced
+
+    def test_outcomes_unchanged_by_tracing(self):
+        plain = CacheHierarchy(HierarchyConfig(), rng=1)
+        traced_h = CacheHierarchy(HierarchyConfig(), rng=1)
+        AccessTracer.attach(traced_h)
+        for address in (0, 64, 0, 128, 64):
+            a = plain.load(address)
+            b = traced_h.load(address)
+            assert (a.hit_level, a.latency) == (b.hit_level, b.latency)
+
+    def test_channel_interleaving_diagnosis(self):
+        """The tracer's purpose: counting sender/receiver transitions
+        in the target set during a real channel run."""
+        from repro.channels.algorithm1 import SharedMemoryLRUChannel
+        from repro.channels.protocol import (
+            CovertChannelProtocol,
+            ProtocolConfig,
+        )
+        from repro.sim.machine import Machine
+        from repro.sim.specs import INTEL_E5_2690
+
+        machine = Machine(INTEL_E5_2690, rng=42)
+        tracer = AccessTracer.attach(machine.hierarchy)
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, 1, d=8
+        )
+        protocol = CovertChannelProtocol(
+            machine, channel, ProtocolConfig(ts=6000, tr=600)
+        )
+        protocol.run_hyper_threaded([1] * 4)
+        tracer.detach()
+        transitions = tracer.interleavings(1)
+        # A working channel needs sender<->receiver transitions in the
+        # target set — several per transmitted bit.
+        assert len(transitions) >= 8

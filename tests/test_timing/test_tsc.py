@@ -1,0 +1,83 @@
+"""Tests for the time-stamp-counter model."""
+
+import pytest
+
+from repro.common.stats import Histogram, mean
+from repro.timing.tsc import AMD_TSC, INTEL_TSC, TimestampCounter, TSCSpec
+
+
+class TestTSCSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TSCSpec(granularity=0)
+        with pytest.raises(ValueError):
+            TSCSpec(overhead_jitter=-1)
+
+    def test_vendor_presets(self):
+        assert INTEL_TSC.granularity < AMD_TSC.granularity
+        assert INTEL_TSC.overhead_jitter < AMD_TSC.overhead_jitter
+
+
+class TestQuantization:
+    def test_intel_cycle_granular(self):
+        tsc = TimestampCounter(INTEL_TSC, rng=1)
+        assert tsc.quantize(33.7) == 33.0
+
+    def test_amd_coarse(self):
+        tsc = TimestampCounter(AMD_TSC, rng=1)
+        assert tsc.quantize(35.0) == 27.0  # floor to multiple of 9
+
+    def test_measurements_are_quantized(self):
+        tsc = TimestampCounter(AMD_TSC, rng=1)
+        for _ in range(50):
+            value = tsc.measure(100.0, serialized=True)
+            assert value % AMD_TSC.granularity == 0
+
+
+class TestSerializationShadow:
+    def test_short_latency_hidden_unserialized(self):
+        """The Appendix A effect: single-access timing hides L1-vs-L2."""
+        tsc = TimestampCounter(INTEL_TSC, rng=1)
+        l1 = Histogram()
+        l2 = Histogram()
+        for _ in range(400):
+            l1.add(tsc.measure(4.0, serialized=False))
+            l2.add(tsc.measure(12.0, serialized=False))
+        assert l1.overlap(l2) > 0.9
+
+    def test_serialized_exposes_difference(self):
+        """The Section IV-D effect: pointer chasing exposes the delta."""
+        tsc = TimestampCounter(INTEL_TSC, rng=1)
+        hit = Histogram()
+        miss = Histogram()
+        for _ in range(400):
+            hit.add(tsc.measure(32.0, serialized=True))
+            miss.add(tsc.measure(40.0, serialized=True))
+        assert hit.overlap(miss) < 0.2
+
+    def test_memory_miss_visible_even_unserialized(self):
+        tsc = TimestampCounter(INTEL_TSC, rng=1)
+        short = [tsc.measure(4.0) for _ in range(100)]
+        long = [tsc.measure(200.0) for _ in range(100)]
+        assert min(long) > max(short)
+
+    def test_mean_tracks_overhead(self):
+        tsc = TimestampCounter(INTEL_TSC, rng=1)
+        values = [tsc.measure(0.0, serialized=True) for _ in range(500)]
+        assert abs(mean(values) - INTEL_TSC.overhead_mean) < 1.5
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TimestampCounter(INTEL_TSC, rng=1).measure(-1.0)
+
+    def test_never_negative_output(self):
+        spec = TSCSpec(overhead_mean=0.5, overhead_jitter=3.0)
+        tsc = TimestampCounter(spec, rng=1)
+        assert all(tsc.measure(0.0) >= 0.0 for _ in range(200))
+
+    def test_deterministic_given_seed(self):
+        a = TimestampCounter(INTEL_TSC, rng=5)
+        b = TimestampCounter(INTEL_TSC, rng=5)
+        assert [a.measure(10.0) for _ in range(10)] == [
+            b.measure(10.0) for _ in range(10)
+        ]

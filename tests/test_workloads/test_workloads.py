@@ -1,0 +1,189 @@
+"""Tests for workload generators and trace replay."""
+
+import itertools
+
+import pytest
+
+from repro.cache.config import HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import ConfigurationError
+from repro.workloads.spec_like import (
+    PROFILES_BY_NAME,
+    SPEC_LIKE_PROFILES,
+    get_profile,
+)
+from repro.workloads.synthetic import (
+    mixed_stream,
+    pointer_chase_stream,
+    sequential_stream,
+    strided_stream,
+    working_set_loop,
+    zipf_stream,
+)
+from repro.workloads.trace import record, replay
+
+
+class TestSequentialStream:
+    def test_word_granular_locality(self):
+        addresses = list(sequential_stream(16, step=8))
+        assert addresses == [i * 8 for i in range(16)]
+
+    def test_intrinsic_miss_rate_one_eighth(self):
+        hierarchy = CacheHierarchy(HierarchyConfig(), rng=1)
+        stats = replay(hierarchy, sequential_stream(4096, step=8))
+        assert stats.l1_miss_rate == pytest.approx(1 / 8, abs=0.01)
+
+    def test_step_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(sequential_stream(4, step=0))
+
+
+class TestStridedAndLoop:
+    def test_strided(self):
+        addresses = list(strided_stream(4, stride_lines=2))
+        assert addresses == [0, 128, 256, 384]
+
+    def test_strided_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(strided_stream(4, stride_lines=0))
+
+    def test_working_set_loop_cycles(self):
+        addresses = list(working_set_loop(6, working_set_lines=3))
+        assert addresses == [0, 64, 128, 0, 64, 128]
+
+    def test_loop_fitting_in_cache_hits(self):
+        hierarchy = CacheHierarchy(HierarchyConfig(), rng=1)
+        stats = replay(
+            hierarchy, working_set_loop(2000, working_set_lines=100),
+            warmup=100,
+        )
+        assert stats.l1_miss_rate == 0.0
+
+    def test_loop_exceeding_l1_thrashes_under_lru(self):
+        """The canonical LRU pathology: WS slightly over capacity."""
+        hierarchy = CacheHierarchy(HierarchyConfig(), rng=1)
+        # 32 KiB L1 = 512 lines; loop over 576.
+        stats = replay(
+            hierarchy, working_set_loop(4000, working_set_lines=576),
+            warmup=600,
+        )
+        assert stats.l1_miss_rate > 0.5
+
+
+class TestZipfStream:
+    def test_skew_concentrates_mass(self):
+        from collections import Counter
+
+        counts = Counter(zipf_stream(4000, 100, alpha=1.5, rng=1))
+        top = counts.most_common(10)
+        assert sum(c for _, c in top) > 2000
+
+    def test_addresses_in_working_set(self):
+        addresses = set(zipf_stream(500, 50, rng=1))
+        assert all(0 <= a < 50 * 64 for a in addresses)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(zipf_stream(4, 10, alpha=0))
+
+
+class TestPointerChaseStream:
+    def test_permutation_walk_covers_set(self):
+        addresses = list(pointer_chase_stream(10, 10, rng=1))
+        assert sorted(addresses) == [i * 64 for i in range(10)]
+
+    def test_repeats_after_full_cycle(self):
+        addresses = list(pointer_chase_stream(20, 10, rng=1))
+        assert addresses[:10] == addresses[10:]
+
+
+class TestMixedStream:
+    def test_respects_length(self):
+        stream = mixed_stream(
+            [sequential_stream(100), iter(working_set_loop(100, 4))],
+            [0.5, 0.5],
+            50,
+            rng=1,
+        )
+        assert len(list(stream)) == 50
+
+    def test_exhausted_component_dropped(self):
+        stream = mixed_stream(
+            [iter([1, 2]), itertools.count(1000)], [0.5, 0.5], 30, rng=1
+        )
+        out = list(stream)
+        assert len(out) == 30
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(mixed_stream([], [], 5))
+        with pytest.raises(ConfigurationError):
+            list(mixed_stream([iter([1])], [0.5, 0.5], 5))
+
+
+class TestSpecLikeProfiles:
+    def test_twelve_profiles(self):
+        assert len(SPEC_LIKE_PROFILES) == 12
+
+    def test_lookup(self):
+        assert get_profile("mcf").working_set_lines > 1024
+        with pytest.raises(KeyError):
+            get_profile("perlbench")
+
+    def test_registry_consistent(self):
+        for profile in SPEC_LIKE_PROFILES:
+            assert PROFILES_BY_NAME[profile.name] is profile
+
+    def test_generate_length(self):
+        out = list(get_profile("gcc").generate(200, rng=1))
+        assert len(out) == 200
+
+    def test_deterministic_given_seed(self):
+        a = list(get_profile("gcc").generate(100, rng=5))
+        b = list(get_profile("gcc").generate(100, rng=5))
+        assert a == b
+
+    def test_streaming_profiles_have_realistic_miss_rates(self):
+        hierarchy = CacheHierarchy(HierarchyConfig(), rng=1)
+        stats = replay(
+            hierarchy, get_profile("libquantum").generate(4000, rng=1),
+            warmup=400,
+        )
+        assert 0.05 < stats.l1_miss_rate < 0.25
+
+
+class TestTraceReplay:
+    def test_record_bounds(self):
+        assert record(iter(range(5)), 3) == [0, 1, 2]
+        assert record(iter(range(2)), 10) == [0, 1]
+
+    def test_replay_counts(self):
+        hierarchy = CacheHierarchy(HierarchyConfig(), rng=1)
+        stats = replay(hierarchy, [0, 0, 64])
+        assert stats.accesses == 3
+        assert stats.l1_hits == 1
+        assert stats.memory_accesses == 2
+
+    def test_warmup_excluded(self):
+        hierarchy = CacheHierarchy(HierarchyConfig(), rng=1)
+        stats = replay(hierarchy, [0, 0, 0], warmup=1)
+        assert stats.accesses == 2
+        assert stats.l1_miss_rate == 0.0
+
+    def test_l2_local_miss_ratio(self):
+        hierarchy = CacheHierarchy(HierarchyConfig(), rng=1)
+        # Two cold misses, then L1 hits only: L2 sees 2 refs, 2 misses.
+        stats = replay(hierarchy, [0, 64, 0, 64])
+        assert stats.l2_miss_rate == 1.0
+
+    def test_average_latency(self):
+        hierarchy = CacheHierarchy(HierarchyConfig(), rng=1)
+        stats = replay(hierarchy, [0, 0])
+        expected = (200.0 + 4.0) / 2
+        assert stats.average_latency == pytest.approx(expected)
+
+    def test_empty_trace(self):
+        hierarchy = CacheHierarchy(HierarchyConfig(), rng=1)
+        stats = replay(hierarchy, [])
+        assert stats.accesses == 0
+        assert stats.average_latency == 0.0

@@ -7,7 +7,8 @@ ORDER = ["table1","table2","table4","table5","table6","table7",
          "fig13","fig14","fig15",
          "ext_llc","ext_side_channel","ext_randomized_index",
          "ext_multiset","ext_verify_table1","ext_detector",
-         "ext_coding","ext_alg2_timesliced","ext_capacity"]
+         "ext_coding","ext_alg2_timesliced","ext_capacity",
+         "ext_robustness"]
 
 HEADER = """# EXPERIMENTS — paper vs. measured
 
@@ -65,7 +66,8 @@ The `ext_*` blocks below are extensions: the cross-core LLC channel,
 the side-channel key recovery, the randomized-indexing defense, the
 multi-set parallel channel, the exhaustive Table-I verification, the
 detector evaluation, coded transmission, the Algorithm-2 time-sliced
-negative result, and the capacity analysis.  See DESIGN.md section 3b.
+negative result, the capacity analysis, and the fault-intensity
+robustness sweep (`repro/faults/`).  See DESIGN.md section 3b.
 
 ## Full experiment outputs
 

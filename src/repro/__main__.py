@@ -4,7 +4,11 @@ Subcommands:
 
 * ``list`` — show every registered experiment (paper table/figure).
 * ``run <id> [<id> ...]`` — regenerate experiments and print their
-  tables; ``run all`` runs everything.
+  tables; ``run all`` runs everything.  Runs go through the resilient
+  runner (``repro.experiments.runner``): a crashing or timed-out
+  experiment is reported and the batch continues, with the exit code
+  reflecting the failures.  ``--timeout``, ``--retries`` and
+  ``--checkpoint`` tune the harness.
 * ``demo`` — the quickstart byte transfer, for a 10-second sanity check.
 """
 
@@ -12,7 +16,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 
 def _cmd_list() -> int:
@@ -27,8 +30,14 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(ids: list) -> int:
+def _cmd_run(
+    ids: list,
+    timeout: float = None,
+    retries: int = 1,
+    checkpoint: str = None,
+) -> int:
     from repro.experiments import EXPERIMENT_REGISTRY
+    from repro.experiments.runner import ExperimentRunner
 
     chosen = sorted(EXPERIMENT_REGISTRY) if ids == ["all"] else ids
     unknown = [i for i in chosen if i not in EXPERIMENT_REGISTRY]
@@ -36,14 +45,28 @@ def _cmd_run(ids: list) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("use `python -m repro list` to see options", file=sys.stderr)
         return 2
-    for experiment_id in chosen:
-        start = time.time()
-        result = EXPERIMENT_REGISTRY[experiment_id]()
-        elapsed = time.time() - start
+
+    def show_result(result, elapsed):
         print()
         print(result.render())
-        print(f"({elapsed:.1f}s)")
-    return 0
+        if elapsed > 0:
+            print(f"({elapsed:.1f}s)")
+        else:
+            print("(restored from checkpoint)")
+
+    def show_failure(failure):
+        print()
+        print(failure.render(), file=sys.stderr)
+
+    runner = ExperimentRunner(
+        timeout_seconds=timeout, retries=retries, checkpoint_path=checkpoint
+    )
+    report = runner.run_many(
+        chosen, on_result=show_result, on_failure=show_failure
+    )
+    print()
+    print(f"summary: {report.summary()}")
+    return 0 if report.ok else 1
 
 
 def _cmd_demo() -> int:
@@ -84,13 +107,40 @@ def main(argv: list = None) -> int:
     sub.add_parser("list", help="list registered experiments")
     run_parser = sub.add_parser("run", help="run experiments by id")
     run_parser.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per experiment attempt (default: none)",
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts per failing experiment, with rotated "
+        "seeds where supported (default: 1)",
+    )
+    run_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="JSON progress file; completed experiments are restored "
+        "from it on rerun instead of recomputed",
+    )
     sub.add_parser("demo", help="10-second covert-channel sanity check")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.ids)
+        return _cmd_run(
+            args.ids,
+            timeout=args.timeout,
+            retries=args.retries,
+            checkpoint=args.checkpoint,
+        )
     return _cmd_demo()
 
 

@@ -19,6 +19,7 @@ from repro.channels.base import LRUChannel
 from repro.common.errors import ProtocolError
 from repro.common.rng import make_rng
 from repro.common.types import Observation
+from repro.faults.interrupts import InterruptBurstFault
 from repro.sim.machine import Machine
 from repro.sim.ops import Access, Compute, ReadTSC, SleepUntil
 from repro.sim.thread import SimThread
@@ -43,10 +44,13 @@ class ProtocolConfig:
         receiver_space: Address-space id of the receiver.
         noise_events_per_mcycle: Rate of environment-noise events
             (interrupts, other processes briefly touching the cache) per
-            million cycles.  Each event performs a short burst of random
-            accesses across sets.  This is the error floor real hardware
-            exhibits in Figure 4: noise arrives per unit *time*, so
-            faster transmission (fewer samples per bit) suffers more.
+            million cycles.  Implemented by attaching an
+            :class:`~repro.faults.interrupts.InterruptBurstFault` to the
+            machine at protocol construction.  This is the error floor
+            real hardware exhibits in Figure 4: noise arrives per unit
+            *time*, so faster transmission (fewer samples per bit)
+            suffers more.  For richer disturbance models, build the
+            machine with ``Machine(..., faults=[...])`` instead.
     """
 
     ts: float = 6000.0
@@ -63,6 +67,27 @@ class ProtocolConfig:
             raise ProtocolError("ts and tr must be positive")
         if self.chain_length < 1:
             raise ProtocolError("chain_length must be >= 1")
+        if self.chain_set < 0:
+            raise ProtocolError(
+                f"chain_set must be >= 0, got {self.chain_set}"
+            )
+        if self.noise_events_per_mcycle < 0:
+            raise ProtocolError("noise_events_per_mcycle must be >= 0")
+
+    def validate_for_target(self, target_set: int) -> None:
+        """Check this config against the channel it will drive.
+
+        The pointer-chase chain must live in a different set than the
+        channel's target set (Section IV-D optimization); a collision
+        silently corrupts the channel — every chase probe would rewrite
+        the very LRU state being measured.
+        """
+        if self.chain_set == target_set:
+            raise ProtocolError(
+                f"chain_set {self.chain_set} collides with the channel's "
+                "target set; the pointer-chase chain must live in a "
+                "different set (Section IV-D optimization)"
+            )
 
     @property
     def samples_per_bit(self) -> float:
@@ -110,14 +135,17 @@ class CovertChannelProtocol:
         channel: LRUChannel,
         config: ProtocolConfig = ProtocolConfig(),
     ):
-        if config.chain_set == channel.layout.target_set:
-            raise ProtocolError(
-                "the pointer-chase chain must live in a different set "
-                "than the target set (Section IV-D optimization)"
-            )
+        config.validate_for_target(channel.layout.target_set)
         self.machine = machine
         self.channel = channel
         self.config = config
+        if config.noise_events_per_mcycle > 0:
+            # Section VIII environment noise, injected as a scheduler-
+            # level fault model rather than inside the receiver loop so
+            # noise also lands while neither endpoint is probing.
+            machine.faults.attach(
+                InterruptBurstFault(config.noise_events_per_mcycle)
+            )
         l1 = machine.spec.hierarchy.l1
         # The chain uses a high tag base so it never collides with
         # channel lines even if geometries change.
@@ -192,13 +220,18 @@ class CovertChannelProtocol:
         return program
 
     def _receiver_program(self, num_samples: int, run: ChannelRun):
-        """Receiver: init, sleep to the Tr boundary, decode, probe."""
+        """Receiver: init, sleep to the Tr boundary, decode, probe.
+
+        Environment noise is no longer simulated here: cache-state
+        disturbances arrive through the machine's fault injector at
+        scheduler level (see :mod:`repro.faults`), and sample-stream
+        faults (drops/duplicates) are applied as each observation is
+        recorded.
+        """
         config = self.config
         channel = self.channel
         tsc = self.machine.tsc
-        l1 = self.machine.spec.hierarchy.l1
-        noise_rng = make_rng(0xD15E)
-        noise_p = config.noise_events_per_mcycle * config.tr / 1e6
+        faults = self.machine.faults
 
         def program():
             # Prime the pointer-chase chain once (uncounted warm-up).
@@ -209,13 +242,6 @@ class CovertChannelProtocol:
                 for address in channel.init_addresses():
                     yield Access(address)
                 yield SleepUntil(t_last + config.tr)
-                if noise_p > 0 and noise_rng.random() < noise_p:
-                    # Environment-noise burst: an interrupt/other task
-                    # touched a few random lines during the sleep.
-                    for _ in range(6):
-                        line = noise_rng.randrange(4 * l1.num_sets * l1.ways)
-                        yield Access((1 << 31) + line * l1.line_size,
-                                     count=False)
                 t_last = yield ReadTSC()
                 for address in channel.decode_addresses():
                     yield Access(address)
@@ -228,11 +254,15 @@ class CovertChannelProtocol:
                 latency = observed_chase_latency(
                     tsc, total, config.chain_length
                 )
-                run.observations.append(
-                    Observation(
-                        sequence=sequence, latency=latency, timestamp=int(t_last)
-                    )
+                observation = Observation(
+                    sequence=sequence, latency=latency, timestamp=int(t_last)
                 )
+                if faults.active:
+                    run.observations.extend(
+                        faults.filter_observation(observation)
+                    )
+                else:
+                    run.observations.append(observation)
 
         return program
 

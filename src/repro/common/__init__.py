@@ -7,6 +7,8 @@ support.
 
 from repro.common.errors import (
     ConfigurationError,
+    ExperimentTimeout,
+    FaultInjectionError,
     ReproError,
     SimulationError,
 )
@@ -25,6 +27,7 @@ from repro.common.stats import (
     percentile,
     threshold_classify,
 )
+from repro.common.retry import retry_with_backoff
 from repro.common.rng import make_rng, spawn_rng
 
 __all__ = [
@@ -32,11 +35,14 @@ __all__ = [
     "AccessType",
     "CacheLevel",
     "ConfigurationError",
+    "ExperimentTimeout",
+    "FaultInjectionError",
     "Histogram",
     "bar_histogram",
     "MemoryAccess",
     "ReproError",
     "SimulationError",
+    "retry_with_backoff",
     "edit_distance",
     "edit_operations",
     "make_rng",

@@ -33,3 +33,19 @@ class ProtocolError(ReproError):
     Examples: decoding before any bits were transmitted, or using a ``d``
     parameter outside the valid range for the cache associativity.
     """
+
+
+class FaultInjectionError(ReproError):
+    """A fault model was misconfigured or driven incorrectly.
+
+    Examples: a negative event rate, a drop probability outside [0, 1],
+    or using a model before it was bound to a machine.
+    """
+
+
+class ExperimentTimeout(ReproError):
+    """An experiment exceeded its wall-clock budget.
+
+    Raised (and caught) by the resilient runner; carries enough context
+    in its message to identify the experiment and the budget it blew.
+    """

@@ -1,0 +1,64 @@
+"""Retry-with-backoff helper for stochastic or flaky operations.
+
+The resilient experiment runner retries failing experiments with
+rotated seeds; this module holds the generic retry loop so it can be
+unit-tested on its own and reused anywhere (benchmark harnesses,
+checkpoint IO on contended filesystems).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+def retry_with_backoff(
+    fn: Callable[[int], T],
+    attempts: int = 3,
+    base_delay: float = 0.1,
+    max_delay: float = 2.0,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``fn(attempt)`` until it succeeds, backing off exponentially.
+
+    Args:
+        fn: The operation; receives the zero-based attempt index so
+            callers can rotate seeds or vary parameters per attempt.
+        attempts: Total tries (first call included); must be >= 1.
+        base_delay: Sleep before the first retry, in seconds; each
+            further retry doubles it, capped at ``max_delay``.
+        max_delay: Upper bound for one backoff sleep.
+        retry_on: Exception classes worth retrying; anything else
+            propagates immediately.
+        sleep: Injection point for tests (receives the delay).
+        on_retry: Optional callback invoked as ``on_retry(attempt,
+            error)`` after a failed attempt that will be retried.
+
+    Returns:
+        The first successful ``fn`` result.
+
+    Raises:
+        ValueError: If ``attempts`` < 1 or delays are negative.
+        The last error, if every attempt fails.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if base_delay < 0 or max_delay < 0:
+        raise ValueError("delays must be >= 0")
+    delay = base_delay
+    for attempt in range(attempts):
+        try:
+            return fn(attempt)
+        except retry_on as error:
+            if attempt == attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            if delay > 0:
+                sleep(min(delay, max_delay))
+            delay = min(delay * 2, max_delay) if delay > 0 else 0.0
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -18,6 +18,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig9,
     fig11,
     fig13,
+    robustness,
     table1,
     table2,
     table4,
@@ -36,6 +37,7 @@ ALL_EXPERIMENT_MODULES = [
     extensions,
     extensions2,
     extensions3,
+    robustness,
     table1, table2, table4, table5, table6, table7,
     fig3, fig4, fig5, fig6, fig7, fig9, fig11, fig13,
 ]

@@ -73,9 +73,37 @@ class ExperimentResult:
         return buffer.getvalue()
 
     def save_csv(self, path: str) -> None:
-        """Write :meth:`to_csv` output to a file."""
-        with open(path, "w") as handle:
+        """Write :meth:`to_csv` output to a file.
+
+        Opened with ``newline=""`` per the csv module's contract so the
+        writer's own ``\\r\\n`` terminators are not doubled to
+        ``\\r\\r\\n`` on Windows.
+        """
+        with open(path, "w", newline="") as handle:
             handle.write(self.to_csv())
+
+    def to_dict(self) -> Dict:
+        """Plain-data form for JSON checkpoints."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "paper_expectation": self.paper_expectation,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentResult":
+        """Rebuild a result saved by :meth:`to_dict`."""
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            columns=list(data.get("columns", [])),
+            rows=[list(row) for row in data.get("rows", [])],
+            paper_expectation=data.get("paper_expectation", ""),
+            notes=data.get("notes", ""),
+        )
 
 
 def _fmt(value) -> str:

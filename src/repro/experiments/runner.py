@@ -1,0 +1,259 @@
+"""Resilient experiment runner: timeouts, retries, checkpoints.
+
+``python -m repro run all`` regenerates every table and figure in one
+go; a single wedged or crashing experiment should cost that one
+experiment, not the whole batch.  The runner wraps each registered
+experiment with:
+
+* a **wall-clock timeout** — the experiment runs on a worker thread and
+  is abandoned (the daemon thread is left to die with the process) if
+  it exceeds the budget, surfacing as
+  :class:`~repro.common.errors.ExperimentTimeout`;
+* **retry with seed rotation** — experiments whose run function takes
+  an ``rng`` parameter are retried with a different seed each attempt,
+  so a run that landed in a pathological noise realization gets a fresh
+  draw (same idea as re-running a flaky hardware measurement);
+* **graceful degradation** — an experiment that still fails after its
+  retries becomes a structured :class:`ExperimentFailure` in the
+  report; the remaining experiments run normally and the process exit
+  code reflects the failures;
+* **JSON checkpointing** — each completed result is persisted
+  immediately, so an interrupted ``run all`` resumes where it stopped
+  instead of recomputing finished experiments.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ExperimentTimeout
+from repro.common.retry import retry_with_backoff
+from repro.experiments.base import EXPERIMENT_REGISTRY, ExperimentResult
+
+#: Seed offset between retry attempts, applied to experiments whose run
+#: function exposes an ``rng`` parameter.
+_SEED_STRIDE = 1000
+
+
+@dataclass
+class ExperimentFailure:
+    """One experiment that failed after exhausting its retries."""
+
+    experiment_id: str
+    error_type: str
+    message: str
+    attempts: int
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        return (
+            f"[{self.experiment_id}] FAILED after {self.attempts} "
+            f"attempt(s) in {self.elapsed_seconds:.1f}s: "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+@dataclass
+class RunReport:
+    """Outcome of one batch: completed results plus structured failures."""
+
+    results: List[ExperimentResult] = field(default_factory=list)
+    failures: List[ExperimentFailure] = field(default_factory=list)
+    resumed: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        parts = [f"{len(self.results)} completed"]
+        if self.resumed:
+            parts.append(f"{len(self.resumed)} restored from checkpoint")
+        parts.append(f"{len(self.failures)} failed")
+        return ", ".join(parts)
+
+
+class ExperimentRunner:
+    """Runs registered experiments with isolation between them.
+
+    Args:
+        timeout_seconds: Wall-clock budget per attempt; ``None``
+            disables the timeout.
+        retries: Extra attempts after the first failure (0 = fail
+            fast).  Attempts rotate the experiment's ``rng`` seed when
+            its run function accepts one.
+        checkpoint_path: JSON file for completed results; when set,
+            experiments already recorded there are restored instead of
+            re-run, and every new completion is persisted immediately.
+        registry: Experiment-id → callable mapping; defaults to the
+            global registry (injection point for tests).
+    """
+
+    def __init__(
+        self,
+        timeout_seconds: Optional[float] = None,
+        retries: int = 1,
+        checkpoint_path: Optional[str] = None,
+        registry: Optional[Dict[str, Callable[..., ExperimentResult]]] = None,
+    ):
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be > 0, got {timeout_seconds}"
+            )
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.timeout_seconds = timeout_seconds
+        self.retries = retries
+        self.checkpoint_path = checkpoint_path
+        self.registry = EXPERIMENT_REGISTRY if registry is None else registry
+
+    # -- single experiment ---------------------------------------------
+
+    def run_one(self, experiment_id: str) -> ExperimentResult:
+        """Run one experiment through the timeout/retry harness.
+
+        Raises whatever the final attempt raised (or
+        :class:`ExperimentTimeout`) once retries are exhausted.
+        """
+        fn = self.registry[experiment_id]
+        rotate_seed = self._accepts_rng(fn)
+
+        def attempt(index: int) -> ExperimentResult:
+            kwargs = {}
+            if rotate_seed and index > 0:
+                kwargs["rng"] = self._rotated_seed(fn, index)
+            return self._call_with_timeout(experiment_id, fn, kwargs)
+
+        return retry_with_backoff(
+            attempt, attempts=self.retries + 1, base_delay=0.0
+        )
+
+    @staticmethod
+    def _accepts_rng(fn: Callable) -> bool:
+        try:
+            return "rng" in inspect.signature(fn).parameters
+        except (TypeError, ValueError):
+            return False
+
+    @staticmethod
+    def _rotated_seed(fn: Callable, attempt: int) -> int:
+        parameter = inspect.signature(fn).parameters["rng"]
+        base = parameter.default
+        if not isinstance(base, int):
+            base = 0
+        return base + attempt * _SEED_STRIDE
+
+    def _call_with_timeout(
+        self, experiment_id: str, fn: Callable, kwargs: Dict
+    ) -> ExperimentResult:
+        if self.timeout_seconds is None:
+            return fn(**kwargs)
+        outcome: Dict = {}
+
+        def worker():
+            try:
+                outcome["result"] = fn(**kwargs)
+            except BaseException as error:  # noqa: BLE001 - reported below
+                outcome["error"] = error
+
+        thread = threading.Thread(
+            target=worker, name=f"experiment-{experiment_id}", daemon=True
+        )
+        thread.start()
+        thread.join(self.timeout_seconds)
+        if thread.is_alive():
+            # The worker cannot be killed; as a daemon it dies with the
+            # process, and the batch moves on without it.
+            raise ExperimentTimeout(
+                f"experiment {experiment_id!r} exceeded "
+                f"{self.timeout_seconds:.1f}s wall-clock budget"
+            )
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["result"]
+
+    # -- batches --------------------------------------------------------
+
+    def run_many(
+        self,
+        ids: Sequence[str],
+        on_result: Optional[Callable[[ExperimentResult, float], None]] = None,
+        on_failure: Optional[Callable[[ExperimentFailure], None]] = None,
+    ) -> RunReport:
+        """Run a batch, isolating failures and checkpointing progress.
+
+        Args:
+            ids: Experiment ids, in execution order.
+            on_result: Callback fired after each completion (restored
+                checkpoint entries fire it with 0.0 elapsed seconds).
+            on_failure: Callback fired after each terminal failure.
+        """
+        report = RunReport()
+        completed = self._load_checkpoint()
+        for experiment_id in ids:
+            if experiment_id in completed:
+                result = completed[experiment_id]
+                report.results.append(result)
+                report.resumed.append(experiment_id)
+                if on_result is not None:
+                    on_result(result, 0.0)
+                continue
+            start = time.monotonic()
+            try:
+                result = self.run_one(experiment_id)
+            except Exception as error:  # noqa: BLE001 - degraded, not fatal
+                failure = ExperimentFailure(
+                    experiment_id=experiment_id,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    attempts=self.retries + 1,
+                    elapsed_seconds=time.monotonic() - start,
+                )
+                report.failures.append(failure)
+                if on_failure is not None:
+                    on_failure(failure)
+                continue
+            report.results.append(result)
+            completed[experiment_id] = result
+            self._save_checkpoint(completed)
+            if on_result is not None:
+                on_result(result, time.monotonic() - start)
+        return report
+
+    # -- checkpointing --------------------------------------------------
+
+    def _load_checkpoint(self) -> Dict[str, ExperimentResult]:
+        if self.checkpoint_path is None:
+            return {}
+        try:
+            with open(self.checkpoint_path) as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return {}
+        except (json.JSONDecodeError, OSError):
+            # A torn or unreadable checkpoint only costs recomputation.
+            return {}
+        return {
+            experiment_id: ExperimentResult.from_dict(entry)
+            for experiment_id, entry in data.get("results", {}).items()
+        }
+
+    def _save_checkpoint(self, completed: Dict[str, ExperimentResult]) -> None:
+        if self.checkpoint_path is None:
+            return
+        payload = {
+            "results": {
+                experiment_id: result.to_dict()
+                for experiment_id, result in completed.items()
+            }
+        }
+        tmp_path = f"{self.checkpoint_path}.tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp_path, self.checkpoint_path)

@@ -1,0 +1,38 @@
+"""Environmental fault injection (paper Section VIII noise sources).
+
+The channel's real-hardware error rate is set by the environment:
+interrupts, context switches, prefetchers, and timestamp-counter
+imperfections.  This package models each as a composable, seeded
+:class:`FaultModel`; a machine built with ``Machine(..., faults=[...])``
+injects them into every run.  See ``docs/FAULTS.md`` for the mapping to
+the paper's Section VIII discussion.
+"""
+
+from repro.faults.base import (
+    FAULT_ADDRESS_SPACE,
+    FAULT_THREAD,
+    FaultInjector,
+    FaultModel,
+    PoissonFault,
+)
+from repro.faults.interrupts import InterruptBurstFault
+from repro.faults.prefetch import PrefetcherFault
+from repro.faults.sampling import SampleDropFault, SampleDuplicateFault
+from repro.faults.scheduling import ContextSwitchFault
+from repro.faults.suite import standard_fault_suite
+from repro.faults.timing import TSCFault
+
+__all__ = [
+    "FAULT_ADDRESS_SPACE",
+    "FAULT_THREAD",
+    "ContextSwitchFault",
+    "FaultInjector",
+    "FaultModel",
+    "InterruptBurstFault",
+    "PoissonFault",
+    "PrefetcherFault",
+    "SampleDropFault",
+    "SampleDuplicateFault",
+    "TSCFault",
+    "standard_fault_suite",
+]

@@ -1,0 +1,58 @@
+"""Prefetcher-interference disturbances (paper Appendix C).
+
+Hardware prefetchers issue fills the program never asked for; each fill
+updates the LRU state of its set exactly like a demand access, so a
+stream prefetcher that strides across set indices retrains the very
+state the channel encodes in.  The paper disables prefetchers for its
+clean runs and measures their damage separately; this model injects
+that damage on demand, as Poisson-arriving stride runs (one "stream
+detection" each), without needing the full ``StridePrefetcher`` on the
+demand path.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import FaultInjectionError
+from repro.faults.base import PoissonFault
+
+#: Own address region, distinct from interrupt and scrub disturbances.
+_STREAM_BASE = 1 << 35
+
+
+class PrefetcherFault(PoissonFault):
+    """Poisson-arriving prefetch streams striding across sets.
+
+    Args:
+        rate_per_mcycle: Mean stream detections per million cycles.
+        degree: Lines fetched per detected stream (hardware degrees are
+            2-8).
+        stride_lines: Stride between consecutive fetches, in lines; 1
+            models a next-line prefetcher sweeping adjacent sets.
+    """
+
+    name = "prefetcher"
+
+    def __init__(
+        self, rate_per_mcycle: float, degree: int = 4, stride_lines: int = 1
+    ):
+        super().__init__(rate_per_mcycle)
+        if degree < 1:
+            raise FaultInjectionError(f"degree must be >= 1, got {degree}")
+        if stride_lines < 1:
+            raise FaultInjectionError(
+                f"stride_lines must be >= 1, got {stride_lines}"
+            )
+        self.degree = degree
+        self.stride_lines = stride_lines
+
+    def inject(self, at: float) -> float:
+        l1 = self.hierarchy.l1.config
+        start = self.rng.randrange(l1.num_sets)
+        page = self.rng.randrange(1 << 8)
+        base = _STREAM_BASE + page * l1.num_sets * l1.line_size
+        for i in range(self.degree):
+            line = start + i * self.stride_lines
+            self._disturb(base + line * l1.line_size)
+        # Prefetch fills ride the memory pipeline; they pollute state
+        # but steal no core cycles from the running thread.
+        return 0.0

@@ -1,0 +1,70 @@
+"""Receiver-sample loss and duplication faults (paper Section V).
+
+The paper scores the channel with edit distance precisely because real
+traces show three error types: flips, *losses* (the receiver's
+iteration was delayed past a bit period and a sample never landed) and
+*insertions* (a bit period straddles one extra sample boundary and is
+read twice).  The cache-disturbance faults produce flips; these two
+models produce the other error types directly at the observation
+stream, where a descheduled receiver actually loses them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import FaultInjectionError
+from repro.common.types import Observation
+from repro.faults.base import FaultModel
+
+
+def _check_probability(value: float, what: str) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise FaultInjectionError(f"{what} must be in [0, 1], got {value}")
+    return value
+
+
+class SampleDropFault(FaultModel):
+    """Independently drops each receiver observation with probability p.
+
+    Models receiver iterations that overran their ``Tr`` slot (handler
+    ran long, SMT sibling stalled the probe) and produced no usable
+    measurement — a *loss* in the paper's error taxonomy.
+    """
+
+    name = "sample-drop"
+
+    def __init__(self, probability: float):
+        super().__init__()
+        self.probability = _check_probability(probability, "drop probability")
+
+    def filter_observation(self, observation: Observation) -> List[Observation]:
+        if self.rng.random() < self.probability:
+            return []
+        return [observation]
+
+
+class SampleDuplicateFault(FaultModel):
+    """Independently duplicates each observation with probability p.
+
+    Models a sampling grid running fast relative to the bit grid (see
+    :class:`~repro.faults.timing.TSCFault` drift): a bit period
+    occasionally spans one extra sample — an *insertion* error.
+    """
+
+    name = "sample-dup"
+
+    def __init__(self, probability: float):
+        super().__init__()
+        self.probability = _check_probability(probability, "dup probability")
+
+    def filter_observation(self, observation: Observation) -> List[Observation]:
+        if self.rng.random() < self.probability:
+            twin = Observation(
+                sequence=observation.sequence,
+                latency=observation.latency,
+                timestamp=observation.timestamp,
+                decoded_bit=observation.decoded_bit,
+            )
+            return [observation, twin]
+        return [observation]

@@ -1,0 +1,60 @@
+"""Context-switch cache scrubs (paper Sections V-B and VIII).
+
+When the OS deschedules the receiver, whatever runs next drags its own
+working set through the cache; by the time the receiver resumes, entire
+sets have had their contents and replacement state rewritten.  The
+paper's time-sliced traces show exactly this: "any other processes
+running during Tr could pollute the target set", and only the first
+observation after a switch carries signal.
+
+The scrub walks a sequential working set large enough to sweep every
+L1 set, modeling the returning-from-another-task cold-cache effect as
+a single burst rather than slice-accurate co-scheduling (the
+time-sliced scheduler models that case exactly; this fault brings the
+same disturbance to hyper-threaded runs, where descheduling still
+happens on real systems).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import FaultInjectionError
+from repro.faults.base import PoissonFault
+
+#: Separate address region from interrupt disturbances so the two fault
+#: kinds never alias each other's lines.
+_SCRUB_BASE = 1 << 33
+
+
+class ContextSwitchFault(PoissonFault):
+    """Poisson-arriving full-cache scrubs by a hypothetical other task.
+
+    Args:
+        rate_per_mcycle: Mean context switches per million cycles
+            (Linux's ~1 ms slices on a 4 GHz core give ~2.5e-4; the
+            robustness sweeps use inflated rates so effects are visible
+            in short simulations).
+        working_set_fraction: Fraction of the L1 (by lines) the other
+            task touches per switch; 1.0 scrubs every way of every set.
+    """
+
+    name = "ctx-switch"
+
+    def __init__(self, rate_per_mcycle: float, working_set_fraction: float = 1.0):
+        super().__init__(rate_per_mcycle)
+        if not 0.0 < working_set_fraction <= 4.0:
+            raise FaultInjectionError(
+                "working_set_fraction must be in (0, 4], got "
+                f"{working_set_fraction}"
+            )
+        self.working_set_fraction = working_set_fraction
+
+    def inject(self, at: float) -> float:
+        l1 = self.hierarchy.l1.config
+        lines = max(1, int(l1.num_sets * l1.ways * self.working_set_fraction))
+        # A fresh offset per switch models a different task each time
+        # (different pages, same cache pressure).
+        offset = self.rng.randrange(1 << 10) * l1.num_sets * l1.line_size
+        stall = 0.0
+        for line in range(lines):
+            stall += self._disturb(_SCRUB_BASE + offset + line * l1.line_size)
+        return stall

@@ -1,0 +1,57 @@
+"""Timestamp-counter jitter and drift faults (paper Section VI-A).
+
+The receiver's whole decode rests on ``rdtscp`` deltas.  Real counters
+are imperfect in two ways the :class:`~repro.timing.tsc.TSCSpec` model
+does not cover:
+
+* **readout jitter** — serialization and pipeline drain make the same
+  instant read back a few cycles differently each time; the AMD EPYC's
+  coarse readout is the pathological case that forces the paper's
+  moving-average decoding;
+* **frequency drift** — TSC and core clock are separate domains
+  (constant_tsc); under turbo/thermal changes the receiver's notion of
+  ``Tr`` cycles slides against the core clock, so its sampling grid
+  slowly walks off the sender's bit grid.
+
+Both perturb every ``ReadTSC`` a thread performs, which moves the
+receiver's sleep deadlines and the sender's bit boundaries — exactly
+where the damage lands on hardware.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import FaultInjectionError
+from repro.faults.base import FaultModel
+
+
+class TSCFault(FaultModel):
+    """Perturbs timestamp readouts with Gaussian jitter and linear drift.
+
+    Args:
+        jitter_cycles: Standard deviation of per-read Gaussian noise.
+        drift_ppm: Parts-per-million scale error between the TSC and
+            the core clock (positive = the counter runs fast, so the
+            receiver under-sleeps and oversamples).
+    """
+
+    name = "tsc"
+
+    def __init__(self, jitter_cycles: float = 0.0, drift_ppm: float = 0.0):
+        super().__init__()
+        if jitter_cycles < 0:
+            raise FaultInjectionError(
+                f"jitter_cycles must be >= 0, got {jitter_cycles}"
+            )
+        self.jitter_cycles = jitter_cycles
+        self.drift_ppm = drift_ppm
+        self._last = 0.0
+
+    def perturb_tsc(self, value: float) -> float:
+        reading = value * (1.0 + self.drift_ppm / 1e6)
+        if self.jitter_cycles > 0:
+            reading += self.rng.gauss(0.0, self.jitter_cycles)
+        # A hardware TSC never runs backwards; clamp like the real
+        # counter's monotonic readout does.
+        reading = max(reading, self._last, 0.0)
+        self._last = reading
+        return reading

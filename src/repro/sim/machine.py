@@ -14,6 +14,7 @@ from repro.cache.cache import SetAssociativeCache
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.prefetcher import StridePrefetcher
 from repro.common.rng import RngLike, make_rng, spawn_rng
+from repro.faults.base import FaultInjector, FaultModel
 from repro.sim.scheduler import HyperThreadedScheduler, TimeSlicedScheduler
 from repro.sim.specs import INTEL_E5_2690, MachineSpec
 from repro.sim.thread import SimThread
@@ -31,6 +32,9 @@ class Machine:
             replacing the spec's default.
         prefetcher: Optional stride prefetcher (Spectre noise model).
         invisible_speculation: Enable the InvisiSpec-style defense.
+        faults: Fault models to inject into every run on this machine
+            (Section VIII environment noise).  More can be attached
+            later through :attr:`faults`.
     """
 
     def __init__(
@@ -40,6 +44,7 @@ class Machine:
         l1_cache: Optional[SetAssociativeCache] = None,
         prefetcher: Optional[StridePrefetcher] = None,
         invisible_speculation: bool = False,
+        faults: Optional[Sequence[FaultModel]] = None,
     ):
         self.spec = spec
         self.rng = make_rng(rng)
@@ -51,6 +56,14 @@ class Machine:
             invisible_speculation=invisible_speculation,
         )
         self.tsc = TimestampCounter(spec.tsc, rng=spawn_rng(self.rng, "tsc"))
+        # The injector draws its RNG lazily on first attach, so a
+        # fault-free machine consumes exactly the same seed stream as
+        # before the fault framework existed.
+        self.faults = FaultInjector(
+            self.hierarchy, rng_source=lambda: spawn_rng(self.rng, "faults")
+        )
+        if faults:
+            self.faults.attach_all(faults)
 
     def hyper_threaded(
         self, threads: Sequence[SimThread], jitter: float = 2.0
@@ -61,6 +74,7 @@ class Machine:
             threads,
             rng=spawn_rng(self.rng, "smt"),
             jitter=jitter,
+            faults=self.faults,
         )
 
     def time_sliced(
@@ -76,6 +90,7 @@ class Machine:
             quantum=quantum,
             switch_cost=switch_cost,
             rng=spawn_rng(self.rng, "slice"),
+            faults=self.faults,
         )
 
     @property

@@ -28,14 +28,51 @@ from repro.sim.thread import SimThread
 
 
 class _SchedulerBase:
-    """Shared operation-execution machinery."""
+    """Shared operation-execution machinery.
 
-    def __init__(self, hierarchy: CacheHierarchy, rng: RngLike = None):
+    Args:
+        hierarchy: The memory system every thread's accesses run against.
+        rng: Arbitration/slicing noise stream.
+        faults: Optional fault injector (see :mod:`repro.faults`); when
+            active, simulated-time progress is reported to it before
+            each operation so Poisson-arriving disturbances land between
+            the threads' own accesses, and every ``ReadTSC`` result is
+            routed through its timestamp perturbations.
+    """
+
+    def __init__(self, hierarchy: CacheHierarchy, rng: RngLike = None, faults=None):
         self.hierarchy = hierarchy
         self.rng = make_rng(rng)
+        self.faults = faults
+
+    def _fault_wake_stall(self, thread: SimThread, now: float) -> float:
+        """Fire pending fault events; return the wake-up stall for ``thread``.
+
+        Disturbance accesses land as simulated time advances, whichever
+        thread is driving the clock.  The *handler cycles* those events
+        consume are charged only to a thread waking from a sleep that
+        covered the event: interrupts wake a halted logical CPU, so the
+        sampling loop's sleeps absorb the handler time, while a sibling
+        that never sleeps (the sender's tight encode loop) keeps its
+        pace and only sees the cache pollution.
+        """
+        if self.faults is None or not self.faults.active:
+            return 0.0
+        self.faults.on_time_advance(now)
+        slept_from = getattr(thread, "_slept_from", None)
+        if slept_from is None:
+            return 0.0
+        thread._slept_from = None
+        return self.faults.stall_in_window(slept_from, now)
 
     def _execute(self, thread: SimThread, op, now: float) -> float:
         """Run one operation at time ``now``; return its cycle cost."""
+        if isinstance(op, ReadTSC):
+            reading = now
+            if self.faults is not None and self.faults.active:
+                reading = self.faults.perturb_tsc(now)
+            thread.deliver(reading)
+            return READ_TSC_COST
         if isinstance(op, Access):
             outcome = self.hierarchy.access(
                 MemoryAccess(
@@ -54,11 +91,10 @@ class _SchedulerBase:
         if isinstance(op, Compute):
             thread.deliver(None)
             return op.cycles
-        if isinstance(op, ReadTSC):
-            thread.deliver(now)
-            return READ_TSC_COST
         if isinstance(op, SleepUntil):
             thread.deliver(None)
+            if self.faults is not None and self.faults.active:
+                thread._slept_from = now
             return max(0.0, op.cycle - now)
         raise SimulationError(f"unknown operation {op!r}")
 
@@ -79,8 +115,9 @@ class HyperThreadedScheduler(_SchedulerBase):
         threads: Sequence[SimThread],
         rng: RngLike = None,
         jitter: float = 2.0,
+        faults=None,
     ):
-        super().__init__(hierarchy, rng)
+        super().__init__(hierarchy, rng, faults=faults)
         if not threads:
             raise SimulationError("need at least one thread")
         self.threads: List[SimThread] = list(threads)
@@ -104,6 +141,7 @@ class HyperThreadedScheduler(_SchedulerBase):
             )
             if until_cycle is not None and thread.ready_at >= until_cycle:
                 break
+            thread.ready_at += self._fault_wake_stall(thread, thread.ready_at)
             op = thread.next_operation()
             if op is None:
                 continue
@@ -135,8 +173,9 @@ class TimeSlicedScheduler(_SchedulerBase):
         switch_cost: float = 2_000.0,
         quantum_jitter_frac: float = 0.2,
         rng: RngLike = None,
+        faults=None,
     ):
-        super().__init__(hierarchy, rng)
+        super().__init__(hierarchy, rng, faults=faults)
         if quantum <= 0:
             raise SimulationError(f"quantum must be > 0, got {quantum}")
         self.threads: List[SimThread] = list(threads)
@@ -168,6 +207,9 @@ class TimeSlicedScheduler(_SchedulerBase):
             # The thread resumes where it left off, but never in the past.
             thread.ready_at = max(thread.ready_at, now)
             while thread.alive and thread.ready_at < slice_end:
+                thread.ready_at += self._fault_wake_stall(
+                    thread, thread.ready_at
+                )
                 op = thread.next_operation()
                 if op is None:
                     break

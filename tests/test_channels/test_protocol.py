@@ -42,6 +42,16 @@ class TestProtocolConfig:
             ProtocolConfig(tr=-1)
         with pytest.raises(ProtocolError):
             ProtocolConfig(chain_length=0)
+        with pytest.raises(ProtocolError):
+            ProtocolConfig(chain_set=-1)
+        with pytest.raises(ProtocolError):
+            ProtocolConfig(noise_events_per_mcycle=-0.5)
+
+    def test_validate_for_target_flags_collision(self):
+        config = ProtocolConfig(chain_set=3)
+        config.validate_for_target(5)  # distinct sets are fine
+        with pytest.raises(ProtocolError, match="chain_set 3"):
+            config.validate_for_target(3)
 
     def test_samples_per_bit(self):
         assert ProtocolConfig(ts=6000, tr=600).samples_per_bit == 10.0

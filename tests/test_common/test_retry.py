@@ -1,0 +1,100 @@
+"""Unit tests for the generic retry-with-backoff helper."""
+
+import pytest
+
+from repro.common.retry import retry_with_backoff
+
+
+class TestRetryWithBackoff:
+    def test_returns_first_success_without_sleeping(self):
+        sleeps = []
+        result = retry_with_backoff(
+            lambda attempt: "ok", sleep=sleeps.append
+        )
+        assert result == "ok"
+        assert sleeps == []
+
+    def test_passes_zero_based_attempt_index(self):
+        seen = []
+
+        def fn(attempt):
+            seen.append(attempt)
+            if attempt < 2:
+                raise ValueError("not yet")
+            return attempt
+
+        assert retry_with_backoff(fn, attempts=3, sleep=lambda _: None) == 2
+        assert seen == [0, 1, 2]
+
+    def test_raises_last_error_when_exhausted(self):
+        def fn(attempt):
+            raise RuntimeError(f"attempt {attempt}")
+
+        with pytest.raises(RuntimeError, match="attempt 2"):
+            retry_with_backoff(fn, attempts=3, sleep=lambda _: None)
+
+    def test_backoff_doubles_and_caps(self):
+        sleeps = []
+
+        def fn(attempt):
+            raise ValueError("always")
+
+        with pytest.raises(ValueError):
+            retry_with_backoff(
+                fn,
+                attempts=5,
+                base_delay=0.1,
+                max_delay=0.3,
+                sleep=sleeps.append,
+            )
+        assert sleeps == [0.1, 0.2, 0.3, 0.3]
+
+    def test_non_matching_error_propagates_immediately(self):
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise KeyError("wrong kind")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(
+                fn, attempts=3, retry_on=(ValueError,), sleep=lambda _: None
+            )
+        assert calls == [0]
+
+    def test_on_retry_callback_sees_attempt_and_error(self):
+        observed = []
+
+        def fn(attempt):
+            if attempt == 0:
+                raise ValueError("flaky")
+            return "done"
+
+        retry_with_backoff(
+            fn,
+            attempts=2,
+            sleep=lambda _: None,
+            on_retry=lambda attempt, error: observed.append(
+                (attempt, str(error))
+            ),
+        )
+        assert observed == [(0, "flaky")]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            retry_with_backoff(lambda a: a, attempts=0)
+        with pytest.raises(ValueError):
+            retry_with_backoff(lambda a: a, base_delay=-1.0)
+
+    def test_zero_base_delay_never_sleeps(self):
+        sleeps = []
+
+        def fn(attempt):
+            if attempt < 2:
+                raise ValueError("again")
+            return attempt
+
+        retry_with_backoff(
+            fn, attempts=3, base_delay=0.0, sleep=sleeps.append
+        )
+        assert sleeps == []

@@ -1,0 +1,38 @@
+"""The robustness sweep must reproduce the Figure 4 noise-floor shape."""
+
+import pytest
+
+from repro.experiments import EXPERIMENT_REGISTRY
+
+
+@pytest.fixture(scope="module")
+def result():
+    return EXPERIMENT_REGISTRY["ext_robustness"]()
+
+
+class TestExtRobustness:
+    def test_registered_and_shaped(self, result):
+        assert result.experiment_id == "ext_robustness"
+        assert result.columns[0] == "intensity"
+        assert len(result.rows) >= 4
+        assert result.rows[0][0] == 0.0  # quiet baseline present
+
+    def test_uncoded_error_grows_with_intensity(self, result):
+        uncoded = [row[2] for row in result.rows]
+        assert uncoded == sorted(uncoded), (
+            "error rate must grow monotonically with fault intensity: "
+            f"{uncoded}"
+        )
+        assert uncoded[-1] > uncoded[0], "faults have no visible effect"
+
+    def test_coding_degrades_more_gracefully(self, result):
+        for row in result.rows:
+            intensity, _, uncoded, coded = row
+            assert coded <= uncoded, (
+                f"coded error {coded} above uncoded {uncoded} at "
+                f"intensity {intensity}"
+            )
+        # At the calibrated noise floor (intensity 1) coding should
+        # clean up the channel completely-ish.
+        floor = next(row for row in result.rows if row[0] == 1.0)
+        assert floor[3] <= 0.01

@@ -1,0 +1,210 @@
+"""Tests for the resilient experiment runner."""
+
+import json
+import time
+
+import pytest
+
+from repro.common.errors import ExperimentTimeout
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import (
+    ExperimentFailure,
+    ExperimentRunner,
+    RunReport,
+)
+
+
+def _result(experiment_id, rows=None):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"test result {experiment_id}",
+        columns=["x"],
+        rows=rows if rows is not None else [[1]],
+    )
+
+
+class TestRunOne:
+    def test_passes_through_a_healthy_experiment(self):
+        registry = {"good": lambda: _result("good")}
+        runner = ExperimentRunner(registry=registry)
+        assert runner.run_one("good").experiment_id == "good"
+
+    def test_retries_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(True)
+            if len(calls) < 3:
+                raise RuntimeError("stochastic failure")
+            return _result("flaky")
+
+        runner = ExperimentRunner(retries=2, registry={"flaky": flaky})
+        assert runner.run_one("flaky").experiment_id == "flaky"
+        assert len(calls) == 3
+
+    def test_rotates_seed_for_rng_experiments(self):
+        seeds = []
+
+        def seeded(rng: int = 7):
+            seeds.append(rng)
+            if len(seeds) < 3:
+                raise RuntimeError("bad noise realization")
+            return _result("seeded")
+
+        runner = ExperimentRunner(retries=2, registry={"seeded": seeded})
+        runner.run_one("seeded")
+        # First attempt uses the experiment's own default; retries rotate.
+        assert seeds == [7, 1007, 2007]
+
+    def test_raises_after_exhausting_retries(self):
+        def broken():
+            raise ValueError("deterministically broken")
+
+        runner = ExperimentRunner(retries=1, registry={"broken": broken})
+        with pytest.raises(ValueError, match="deterministically broken"):
+            runner.run_one("broken")
+
+    def test_timeout_surfaces_as_experiment_timeout(self):
+        def wedged():
+            time.sleep(30.0)
+            return _result("wedged")
+
+        runner = ExperimentRunner(
+            timeout_seconds=0.1, retries=0, registry={"wedged": wedged}
+        )
+        with pytest.raises(ExperimentTimeout, match="wall-clock"):
+            runner.run_one("wedged")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            ExperimentRunner(retries=-1)
+
+
+class TestRunMany:
+    def test_failures_do_not_stop_the_batch(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        registry = {
+            "a": lambda: _result("a"),
+            "b": broken,
+            "c": lambda: _result("c"),
+        }
+        runner = ExperimentRunner(retries=0, registry=registry)
+        report = runner.run_many(["a", "b", "c"])
+        assert [r.experiment_id for r in report.results] == ["a", "c"]
+        assert [f.experiment_id for f in report.failures] == ["b"]
+        assert not report.ok
+        assert "2 completed" in report.summary()
+        assert "1 failed" in report.summary()
+
+    def test_callbacks_fire_per_outcome(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        registry = {"a": lambda: _result("a"), "b": broken}
+        completed, failed = [], []
+        runner = ExperimentRunner(retries=0, registry=registry)
+        runner.run_many(
+            ["a", "b"],
+            on_result=lambda result, elapsed: completed.append(
+                result.experiment_id
+            ),
+            on_failure=lambda failure: failed.append(failure.experiment_id),
+        )
+        assert completed == ["a"]
+        assert failed == ["b"]
+
+    def test_failure_record_is_structured(self):
+        def broken():
+            raise KeyError("missing table")
+
+        runner = ExperimentRunner(retries=2, registry={"x": broken})
+        report = runner.run_many(["x"])
+        failure = report.failures[0]
+        assert isinstance(failure, ExperimentFailure)
+        assert failure.error_type == "KeyError"
+        assert failure.attempts == 3
+        assert "missing table" in failure.message
+        assert "FAILED" in failure.render()
+
+
+class TestCheckpointing:
+    def test_completed_results_survive_a_restart(self, tmp_path):
+        checkpoint = str(tmp_path / "progress.json")
+        calls = []
+
+        def tracked():
+            calls.append(True)
+            return _result("a", rows=[[41], [42]])
+
+        registry = {"a": tracked}
+        first = ExperimentRunner(
+            retries=0, checkpoint_path=checkpoint, registry=registry
+        ).run_many(["a"])
+        assert first.resumed == []
+        second = ExperimentRunner(
+            retries=0, checkpoint_path=checkpoint, registry=registry
+        ).run_many(["a"])
+        assert second.resumed == ["a"]
+        assert len(calls) == 1  # not recomputed
+        assert second.results[0].rows == [[41], [42]]
+
+    def test_interrupted_batch_resumes_after_the_failure(self, tmp_path):
+        checkpoint = str(tmp_path / "progress.json")
+
+        def broken():
+            raise RuntimeError("boom")
+
+        registry = {"a": lambda: _result("a"), "b": broken}
+        report = ExperimentRunner(
+            retries=0, checkpoint_path=checkpoint, registry=registry
+        ).run_many(["a", "b"])
+        assert not report.ok
+        saved = json.loads((tmp_path / "progress.json").read_text())
+        assert list(saved["results"]) == ["a"]  # failure not checkpointed
+
+        registry["b"] = lambda: _result("b")
+        retry = ExperimentRunner(
+            retries=0, checkpoint_path=checkpoint, registry=registry
+        ).run_many(["a", "b"])
+        assert retry.ok
+        assert retry.resumed == ["a"]
+
+    def test_corrupt_checkpoint_only_costs_recomputation(self, tmp_path):
+        checkpoint = tmp_path / "progress.json"
+        checkpoint.write_text("{ not json")
+        registry = {"a": lambda: _result("a")}
+        report = ExperimentRunner(
+            retries=0, checkpoint_path=str(checkpoint), registry=registry
+        ).run_many(["a"])
+        assert report.ok
+        assert report.resumed == []
+
+
+class TestResultSerialization:
+    def test_round_trip(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            columns=["a", "b"],
+            rows=[[1, "two"], [3.5, None]],
+            paper_expectation="expected",
+            notes="noted",
+        )
+        assert ExperimentResult.from_dict(result.to_dict()) == result
+
+    def test_save_csv_uses_binary_safe_newlines(self, tmp_path):
+        result = _result("csv", rows=[[1], [2]])
+        path = tmp_path / "out.csv"
+        result.save_csv(str(path))
+        raw = path.read_bytes()
+        assert b"\r\r\n" not in raw
+        assert raw.count(b"\r\n") == 3  # header + two rows
+
+
+class TestRunReport:
+    def test_empty_report_is_ok(self):
+        assert RunReport().ok

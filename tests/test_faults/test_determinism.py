@@ -1,0 +1,76 @@
+"""Seed determinism of fault injection, end to end.
+
+The whole reproduction rests on runs being replayable from one master
+seed; fault injection must not break that.  For every fault model (and
+their composition) an identical machine seed plus fault configuration
+must produce the bit-identical observation trace and decoded message.
+"""
+
+import pytest
+
+from repro.channels.algorithm1 import SharedMemoryLRUChannel
+from repro.channels.decoder import runlength_decode, sample_bits
+from repro.channels.protocol import CovertChannelProtocol, ProtocolConfig
+from repro.faults import (
+    ContextSwitchFault,
+    InterruptBurstFault,
+    PrefetcherFault,
+    SampleDropFault,
+    SampleDuplicateFault,
+    TSCFault,
+    standard_fault_suite,
+)
+from repro.sim.machine import Machine
+from repro.sim.specs import INTEL_E5_2690
+
+MESSAGE = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1]
+
+FAULT_CONFIGS = {
+    "interrupts": lambda: [InterruptBurstFault(rate_per_mcycle=200.0)],
+    "ctx-switch": lambda: [ContextSwitchFault(rate_per_mcycle=5.0)],
+    "prefetcher": lambda: [PrefetcherFault(rate_per_mcycle=100.0)],
+    "tsc": lambda: [TSCFault(jitter_cycles=8.0, drift_ppm=200.0)],
+    "sample-drop": lambda: [SampleDropFault(probability=0.05)],
+    "sample-dup": lambda: [SampleDuplicateFault(probability=0.05)],
+    "suite": lambda: standard_fault_suite(2.0),
+}
+
+
+def _run_channel(seed, faults):
+    machine = Machine(INTEL_E5_2690, rng=seed, faults=faults)
+    channel = SharedMemoryLRUChannel.build(machine.spec.hierarchy.l1, 1, d=8)
+    protocol = CovertChannelProtocol(
+        machine, channel, ProtocolConfig(ts=4500, tr=600)
+    )
+    run = protocol.run_hyper_threaded(list(MESSAGE))
+    trace = [
+        (o.sequence, o.latency, o.timestamp) for o in run.observations
+    ]
+    decoded = runlength_decode(sample_bits(run), 7)
+    return trace, decoded
+
+
+class TestFaultDeterminism:
+    @pytest.mark.parametrize("name", sorted(FAULT_CONFIGS))
+    def test_same_seed_same_trace_and_message(self, name):
+        build = FAULT_CONFIGS[name]
+        trace_a, decoded_a = _run_channel(42, build())
+        trace_b, decoded_b = _run_channel(42, build())
+        assert trace_a == trace_b
+        assert decoded_a == decoded_b
+        assert len(trace_a) > 0
+
+    def test_different_seeds_diverge_under_faults(self):
+        # Sanity check that the determinism above is not vacuous: the
+        # fault streams really are driven by the machine seed.
+        trace_a, _ = _run_channel(42, standard_fault_suite(2.0))
+        trace_b, _ = _run_channel(43, standard_fault_suite(2.0))
+        assert trace_a != trace_b
+
+    def test_empty_fault_list_matches_no_fault_machine(self):
+        # faults=[] must leave the master RNG stream untouched, so a
+        # machine built with it is bit-identical to one built without.
+        trace_a, decoded_a = _run_channel(42, [])
+        trace_b, decoded_b = _run_channel(42, None)
+        assert trace_a == trace_b
+        assert decoded_a == decoded_b

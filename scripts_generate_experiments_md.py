@@ -23,6 +23,12 @@ state what the paper reports for the same quantity.  We reproduce the
 crossovers fall); absolute cycle counts and rates differ because the
 substrate is a simulator, not the authors' testbed.
 
+Any experiment here can be re-run with runtime invariant checking:
+`python -m repro run <id> --sanitize` wraps every machine in the
+proxies of `repro.analysis` (see docs/ANALYSIS.md), turning silent
+replacement-state corruption into a structured `InvariantViolation`;
+results are bit-identical with the flag on or off.
+
 ## Headline comparisons
 
 | Claim | Paper | This reproduction |

@@ -10,6 +10,12 @@ Subcommands:
   reflecting the failures.  ``--timeout``, ``--retries`` and
   ``--checkpoint`` tune the harness.
 * ``demo`` — the quickstart byte transfer, for a 10-second sanity check.
+
+Both ``run`` and ``demo`` accept ``--sanitize``: every machine built
+during the run is wrapped in the invariant-checking proxies of
+``repro.analysis`` and state corruption raises a structured
+``InvariantViolation`` at the offending transition.  The companion
+static checks live under ``python -m repro.analysis lint``.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ def _cmd_run(
     timeout: float = None,
     retries: int = 1,
     checkpoint: str = None,
+    sanitize: bool = False,
 ) -> int:
     from repro.experiments import EXPERIMENT_REGISTRY
     from repro.experiments.runner import ExperimentRunner
@@ -59,7 +66,10 @@ def _cmd_run(
         print(failure.render(), file=sys.stderr)
 
     runner = ExperimentRunner(
-        timeout_seconds=timeout, retries=retries, checkpoint_path=checkpoint
+        timeout_seconds=timeout,
+        retries=retries,
+        checkpoint_path=checkpoint,
+        sanitize=sanitize,
     )
     report = runner.run_many(
         chosen, on_result=show_result, on_failure=show_failure
@@ -69,7 +79,11 @@ def _cmd_run(
     return 0 if report.ok else 1
 
 
-def _cmd_demo() -> int:
+def _cmd_demo(sanitize: bool = False) -> int:
+    if sanitize:
+        from repro.analysis.sanitize import enable_sanitize
+
+        enable_sanitize()
     from repro.channels import (
         CovertChannelProtocol,
         ProtocolConfig,
@@ -129,7 +143,20 @@ def main(argv: list = None) -> int:
         help="JSON progress file; completed experiments are restored "
         "from it on rerun instead of recomputed",
     )
-    sub.add_parser("demo", help="10-second covert-channel sanity check")
+    run_parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="wrap every machine in invariant-checking proxies; state "
+        "corruption fails the experiment with an InvariantViolation",
+    )
+    demo_parser = sub.add_parser(
+        "demo", help="10-second covert-channel sanity check"
+    )
+    demo_parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the demo with the runtime sanitizer armed",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -140,8 +167,9 @@ def main(argv: list = None) -> int:
             timeout=args.timeout,
             retries=args.retries,
             checkpoint=args.checkpoint,
+            sanitize=args.sanitize,
         )
-    return _cmd_demo()
+    return _cmd_demo(sanitize=args.sanitize)
 
 
 if __name__ == "__main__":

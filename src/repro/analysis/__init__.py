@@ -1,0 +1,84 @@
+"""Simulator invariant toolkit: static lint pass + runtime sanitizer.
+
+The paper's channels exist only because replacement-state metadata
+obeys strict structural invariants (tree-PLRU bit vectors, true-LRU age
+permutations, PL-cache locks); a silently corrupted policy model
+invalidates every downstream BER/capacity number.  This package checks
+those invariants by machine, at two layers:
+
+* **Static** — ``python -m repro.analysis lint src/repro`` runs an
+  AST-based lint pass with a pluggable rule registry
+  (:mod:`repro.analysis.rules`): seeded-RNG discipline, no host
+  wall-clock, cycle accounting confined to the scheduler layer, policy
+  and experiment and fault-model contracts.  Findings report
+  ``file:line``, a rule id, and a fix hint; an inline
+  ``# repro: allow(<rule>)`` comment suppresses one line.
+
+* **Runtime** — ``--sanitize`` (CLI) / ``Machine(sanitize=True)``
+  wraps caches, replacement policies, and schedulers in
+  invariant-checking proxies (:mod:`repro.analysis.proxies`,
+  :mod:`repro.analysis.sanitize`) that raise a structured
+  :class:`~repro.common.errors.InvariantViolation` — with the offending
+  set/way and the access-trace tail — at the exact transition that
+  corrupted the state.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and the cost model.
+"""
+
+from repro.analysis.lint import (
+    FileContext,
+    LintFinding,
+    Project,
+    assert_clean,
+    lint_paths,
+    lint_sources,
+)
+from repro.analysis.proxies import (
+    POLICY_CHECKERS,
+    SanitizingPolicy,
+    checker_for,
+    sanitize_cache,
+    sanitize_cache_set,
+)
+from repro.analysis.rules import (
+    FAULT_INJECTION_POINTS,
+    POLICY_CONTRACT,
+    RULE_REGISTRY,
+    LintRule,
+    rule,
+)
+from repro.analysis.sanitize import (
+    enable_sanitize,
+    sanitize_enabled,
+    sanitize_hierarchy,
+    sanitize_machine,
+    sanitize_scheduler,
+    scoped_sanitize,
+)
+from repro.analysis.trace import AccessTrace
+
+__all__ = [
+    "AccessTrace",
+    "FAULT_INJECTION_POINTS",
+    "FileContext",
+    "LintFinding",
+    "LintRule",
+    "POLICY_CHECKERS",
+    "POLICY_CONTRACT",
+    "Project",
+    "RULE_REGISTRY",
+    "SanitizingPolicy",
+    "assert_clean",
+    "checker_for",
+    "enable_sanitize",
+    "lint_paths",
+    "lint_sources",
+    "rule",
+    "sanitize_cache",
+    "sanitize_cache_set",
+    "sanitize_enabled",
+    "sanitize_hierarchy",
+    "sanitize_machine",
+    "sanitize_scheduler",
+    "scoped_sanitize",
+]

@@ -1,0 +1,78 @@
+"""Command-line interface: ``python -m repro.analysis``.
+
+Subcommands:
+
+* ``lint <path> [<path> ...]`` — run every registered rule over the
+  given files/directories; print one ``file:line: [rule-id] message``
+  diagnostic per finding and exit non-zero if any were found.  This is
+  the command CI runs (``python -m repro.analysis lint src/repro``).
+* ``rules`` — list the registered rule ids with their one-line
+  descriptions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_lint(paths: List[str], rule_ids: Optional[List[str]]) -> int:
+    from repro.analysis.lint import iter_python_files, lint_paths
+
+    files = iter_python_files(paths)
+    if not files:
+        print(f"no python files under {', '.join(paths)}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(paths, rule_ids)
+    except KeyError as error:
+        print(str(error.args[0]), file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"{len(findings)} finding(s) in {len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{len(files)} file(s) clean")
+    return 0
+
+
+def _cmd_rules() -> int:
+    from repro.analysis.rules import RULE_REGISTRY
+
+    width = max(len(rule_id) for rule_id in RULE_REGISTRY)
+    for rule_id in sorted(RULE_REGISTRY):
+        rule = RULE_REGISTRY[rule_id]
+        print(f"  {rule_id.ljust(width)}  [{rule.scope}] {rule.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant checks for the repro simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    lint_parser = sub.add_parser("lint", help="lint files or directories")
+    lint_parser.add_argument("paths", nargs="+", help="files or directories")
+    lint_parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE_ID",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    sub.add_parser("rules", help="list registered lint rules")
+
+    args = parser.parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args.paths, args.rules)
+    return _cmd_rules()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

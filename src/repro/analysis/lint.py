@@ -1,0 +1,229 @@
+"""AST-based lint engine enforcing repo-wide simulator invariants.
+
+The replacement-state channels exist only because the policy models are
+bit-exact; a policy model silently corrupted by a refactor invalidates
+every downstream BER/capacity number.  This engine machine-checks the
+structural conventions that keep the models trustworthy: all randomness
+flows through ``repro.common.rng``, cycle accounting stays inside the
+scheduler layer, every policy/experiment/fault class upholds its
+contract.
+
+The engine is deliberately small: it parses each file once, hands the
+tree to every *file-scope* rule, then hands the full parsed project to
+every *project-scope* rule (rules that need cross-file context, e.g.
+"every ``ReplacementPolicy`` subclass is registered").  Rules live in
+:mod:`repro.analysis.rules` and register themselves; third parties can
+add rules through the same decorator.
+
+Suppression: a finding whose source line carries an inline
+``# repro: allow(<rule-id>)`` comment is discarded at report time, so
+intentional exceptions (e.g. wall-clock use in the experiment runner)
+are visible in the diff rather than configured away in a dotfile.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import LintError
+
+#: Inline suppression: ``# repro: allow(rule-id)`` or
+#: ``# repro: allow(rule-a, rule-b)`` on the offending line.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+
+class FileContext:
+    """One parsed source file plus its lint bookkeeping.
+
+    Attributes:
+        path: Path as given on the command line (reported in findings).
+        module: Dotted module name derived from the path, e.g.
+            ``repro.experiments.extensions`` — rules scope themselves
+            with it ("outside ``repro.sim``", "under
+            ``repro.experiments``").
+        tree: The parsed ``ast.Module``.
+        source_lines: Raw lines, for allow-comment lookup.
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.source_lines = source.splitlines()
+        self.module = _module_name(path)
+        self._allows = self._collect_allows()
+        self.findings: List[LintFinding] = []
+
+    def _collect_allows(self) -> Dict[int, Tuple[str, ...]]:
+        allows: Dict[int, Tuple[str, ...]] = {}
+        for lineno, line in enumerate(self.source_lines, start=1):
+            match = _ALLOW_RE.search(line)
+            if match:
+                rules = tuple(
+                    token.strip()
+                    for token in match.group(1).split(",")
+                    if token.strip()
+                )
+                allows[lineno] = rules
+        return allows
+
+    def allowed(self, rule_id: str, line: int) -> bool:
+        rules = self._allows.get(line, ())
+        return rule_id in rules or "*" in rules
+
+    def report(
+        self, rule_id: str, node, message: str, hint: str = ""
+    ) -> None:
+        """File a finding at ``node`` (an AST node or a line number)."""
+        line = node if isinstance(node, int) else node.lineno
+        if self.allowed(rule_id, line):
+            return
+        self.findings.append(
+            LintFinding(
+                path=self.path,
+                line=line,
+                rule_id=rule_id,
+                message=message,
+                hint=hint,
+            )
+        )
+
+
+@dataclass
+class Project:
+    """Every parsed file, for rules that need cross-file context."""
+
+    files: List[FileContext] = field(default_factory=list)
+
+    def modules(self) -> Dict[str, FileContext]:
+        return {ctx.module: ctx for ctx in self.files}
+
+
+def _module_name(path: str) -> str:
+    """Best-effort dotted module name from a file path.
+
+    ``src/repro/cache/cache.py`` -> ``repro.cache.cache``; a path with
+    no ``repro`` component falls back to its stem, which simply opts it
+    out of the module-scoped rules.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    import os
+
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            found.append(path)
+    return found
+
+
+def lint_sources(
+    sources: Iterable[Tuple[str, str]],
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[LintFinding]:
+    """Lint in-memory ``(path, source)`` pairs; the engine's core.
+
+    Args:
+        sources: Pairs of (reported path, source text).
+        rule_ids: Restrict to these rule ids (default: every registered
+            rule).
+
+    Returns:
+        Findings sorted by path then line.
+    """
+    from repro.analysis.rules import resolve_rules
+
+    file_rules, project_rules = resolve_rules(rule_ids)
+    project = Project()
+    findings: List[LintFinding] = []
+    for path, source in sources:
+        try:
+            ctx = FileContext(path, source)
+        except SyntaxError as error:
+            findings.append(
+                LintFinding(
+                    path=path,
+                    line=error.lineno or 1,
+                    rule_id="syntax",
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        for rule in file_rules:
+            rule.fn(ctx)
+        project.files.append(ctx)
+    for rule in project_rules:
+        rule.fn(project)
+    for ctx in project.files:
+        findings.extend(ctx.findings)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule_id))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[LintFinding]:
+    """Lint files and directories on disk."""
+
+    def read(path: str) -> Tuple[str, str]:
+        with open(path, "r", encoding="utf-8") as handle:
+            return path, handle.read()
+
+    return lint_sources(
+        (read(path) for path in iter_python_files(paths)), rule_ids
+    )
+
+
+def assert_clean(
+    paths: Sequence[str],
+    rule_ids: Optional[Sequence[str]] = None,
+) -> None:
+    """Raise :class:`~repro.common.errors.LintError` on any finding.
+
+    This is the pytest hook: a single test calls ``assert_clean`` on
+    ``src/repro`` so every ``pytest`` run fails loudly when an invariant
+    regresses, with the same ``file:line`` diagnostics the CLI prints.
+    """
+    findings = lint_paths(paths, rule_ids)
+    if findings:
+        raise LintError(findings)

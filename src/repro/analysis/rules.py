@@ -1,0 +1,421 @@
+"""Built-in lint rules and the pluggable rule registry.
+
+Each rule enforces one repo-wide structural invariant:
+
+``no-direct-random``
+    All randomness flows through ``repro.common.rng``; a stray
+    ``import random`` gives a component its own unseeded stream and
+    silently breaks whole-experiment reproducibility from one seed.
+
+``no-wallclock``
+    ``time.time()`` / ``datetime.now()`` readings leak host wall-clock
+    into simulated results.  Simulated time comes from the scheduler;
+    duration measurement uses ``time.monotonic`` (allowed).
+
+``no-cycle-arithmetic``
+    Thread cycle accounting (``ready_at``, ``_slept_from``) is written
+    only by the scheduler/machine layer (``repro.sim``).  Anything else
+    mutating it bypasses fault-stall charging and breaks the
+    "cycle charges never go backwards" runtime invariant.
+
+``policy-contract``
+    Every ``ReplacementPolicy`` subclass implements the full base
+    contract (``touch``, ``victim``, ``state_snapshot``,
+    ``state_restore``, ``state_bits``) so snapshot/restore-based tests
+    and the sanitizer proxies work on every policy.
+
+``policy-registered``
+    Every ``ReplacementPolicy`` subclass is reachable through
+    ``POLICY_REGISTRY`` — an unregistered policy is dead code that
+    experiments can never sweep.
+
+``experiment-registered``
+    Every module-level ``run_*`` function in ``repro.experiments`` is
+    decorated with ``@register(...)`` so ``python -m repro run all``
+    and the EXPERIMENTS.md generator actually see it.
+
+``fault-declares-injection``
+    Every ``FaultModel`` subclass declares its ``injection_points`` so
+    readers (and the injector's runtime validation) know which of the
+    three hooks the model uses.
+
+Rules register through :func:`rule`; external code can add more the
+same way before calling the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import FileContext, Project
+
+#: The three runtime hooks a fault model may use (mirrors
+#: ``repro.faults.base.FaultModel``).
+FAULT_INJECTION_POINTS = frozenset({"time-advance", "tsc", "observation"})
+
+#: Methods/attributes every ReplacementPolicy subclass must provide.
+POLICY_CONTRACT = (
+    "touch",
+    "victim",
+    "state_snapshot",
+    "state_restore",
+    "state_bits",
+)
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule.
+
+    Attributes:
+        rule_id: Stable identifier used in reports and allow comments.
+        scope: ``"file"`` (fn receives a :class:`FileContext`) or
+            ``"project"`` (fn receives a :class:`Project`).
+        description: One-line summary for ``python -m repro.analysis
+            rules``.
+        fn: The check itself.
+    """
+
+    rule_id: str
+    scope: str
+    description: str
+    fn: Callable
+
+
+RULE_REGISTRY: Dict[str, LintRule] = {}
+
+
+def rule(rule_id: str, scope: str = "file", description: str = ""):
+    """Decorator registering a lint rule under ``rule_id``."""
+    if scope not in ("file", "project"):
+        raise ValueError(f"scope must be 'file' or 'project', got {scope!r}")
+
+    def wrap(fn: Callable) -> Callable:
+        RULE_REGISTRY[rule_id] = LintRule(
+            rule_id=rule_id,
+            scope=scope,
+            description=description or (fn.__doc__ or "").strip().split("\n")[0],
+            fn=fn,
+        )
+        return fn
+
+    return wrap
+
+
+def resolve_rules(
+    rule_ids: Optional[Sequence[str]] = None,
+) -> Tuple[List[LintRule], List[LintRule]]:
+    """Split the chosen rules into (file-scope, project-scope) lists."""
+    if rule_ids is None:
+        chosen = [RULE_REGISTRY[k] for k in sorted(RULE_REGISTRY)]
+    else:
+        unknown = [k for k in rule_ids if k not in RULE_REGISTRY]
+        if unknown:
+            raise KeyError(
+                f"unknown rule(s) {unknown}; known: {sorted(RULE_REGISTRY)}"
+            )
+        chosen = [RULE_REGISTRY[k] for k in rule_ids]
+    return (
+        [r for r in chosen if r.scope == "file"],
+        [r for r in chosen if r.scope == "project"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def _base_names(node: ast.ClassDef) -> Set[str]:
+    """Names of a class's bases (``Name`` and dotted ``Attribute``)."""
+    names: Set[str] = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _class_member_names(node: ast.ClassDef) -> Set[str]:
+    """Names defined directly in a class body (defs and assignments)."""
+    names: Set[str] = set()
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(item.name)
+        elif isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(item, ast.AnnAssign):
+            if isinstance(item.target, ast.Name):
+                names.add(item.target.id)
+    return names
+
+
+def _subclasses_of(project: Project, root: str) -> List[Tuple[FileContext, ast.ClassDef]]:
+    """All classes transitively deriving (by name) from ``root``."""
+    classes: List[Tuple[FileContext, ast.ClassDef]] = []
+    for ctx in project.files:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                classes.append((ctx, node))
+    known = {root}
+    result: List[Tuple[FileContext, ast.ClassDef]] = []
+    # Iterate to a fixed point so grandchildren count too.
+    changed = True
+    while changed:
+        changed = False
+        for ctx, node in classes:
+            if node.name in known:
+                continue
+            if _base_names(node) & known:
+                known.add(node.name)
+                result.append((ctx, node))
+                changed = True
+    return result
+
+
+# ----------------------------------------------------------------------
+# File-scope rules
+# ----------------------------------------------------------------------
+
+
+@rule(
+    "no-direct-random",
+    description="stdlib random imported outside repro.common.rng",
+)
+def check_no_direct_random(ctx: FileContext) -> None:
+    if ctx.module == "repro.common.rng":
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    ctx.report(
+                        "no-direct-random",
+                        node,
+                        "direct `import random` bypasses seeded RNG plumbing",
+                        hint="use repro.common.rng.make_rng/spawn_rng",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                ctx.report(
+                    "no-direct-random",
+                    node,
+                    "direct `from random import ...` bypasses seeded "
+                    "RNG plumbing",
+                    hint="use repro.common.rng.make_rng/spawn_rng",
+                )
+
+
+def _is_wallclock_call(node: ast.Call) -> Optional[str]:
+    """Return the dotted name when ``node`` reads host wall-clock."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "time" and isinstance(func.value, ast.Name):
+        if func.value.id == "time":
+            return "time.time()"
+    if func.attr in ("now", "utcnow", "today"):
+        value = func.value
+        if isinstance(value, ast.Name) and value.id in ("datetime", "date"):
+            return f"{value.id}.{func.attr}()"
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr in ("datetime", "date")
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "datetime"
+        ):
+            return f"datetime.{value.attr}.{func.attr}()"
+    return None
+
+
+@rule(
+    "no-wallclock",
+    description="host wall-clock read (time.time/datetime.now)",
+)
+def check_no_wallclock(ctx: FileContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            dotted = _is_wallclock_call(node)
+            if dotted:
+                ctx.report(
+                    "no-wallclock",
+                    node,
+                    f"{dotted} leaks host wall-clock into the simulator",
+                    hint="simulated time comes from the scheduler; use "
+                    "time.monotonic for duration measurement",
+                )
+
+
+#: Attributes owned by the scheduler layer's cycle accounting.
+_CYCLE_ATTRS = ("ready_at", "_slept_from")
+
+
+@rule(
+    "no-cycle-arithmetic",
+    description="thread cycle accounting mutated outside repro.sim",
+)
+def check_no_cycle_arithmetic(ctx: FileContext) -> None:
+    if ctx.module.startswith("repro.sim"):
+        return
+    for node in ast.walk(ctx.tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) and target.attr in _CYCLE_ATTRS:
+                ctx.report(
+                    "no-cycle-arithmetic",
+                    node,
+                    f"write to `{target.attr}` outside the scheduler layer",
+                    hint="cycle charging belongs to repro.sim schedulers; "
+                    "use scheduler/machine APIs instead",
+                )
+
+
+@rule(
+    "policy-contract",
+    description="ReplacementPolicy subclass missing base-contract members",
+)
+def check_policy_contract(ctx: FileContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if "ReplacementPolicy" not in _base_names(node):
+            continue
+        members = _class_member_names(node)
+        missing = [name for name in POLICY_CONTRACT if name not in members]
+        if missing:
+            ctx.report(
+                "policy-contract",
+                node,
+                f"policy {node.name} missing contract member(s): "
+                f"{', '.join(missing)}",
+                hint="implement the full ReplacementPolicy contract so "
+                "snapshot tests and sanitizer proxies cover this policy",
+            )
+
+
+@rule(
+    "experiment-registered",
+    description="run_* experiment function missing @register decorator",
+)
+def check_experiment_registered(ctx: FileContext) -> None:
+    if not ctx.module.startswith("repro.experiments."):
+        return
+    if ctx.module in ("repro.experiments.base", "repro.experiments.runner"):
+        return
+    for node in ctx.tree.body:  # module level only
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if not node.name.startswith("run_"):
+            continue
+        registered = False
+        for decorator in node.decorator_list:
+            call = decorator if isinstance(decorator, ast.Call) else None
+            func = call.func if call else decorator
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "register":
+                registered = True
+        if not registered:
+            ctx.report(
+                "experiment-registered",
+                node,
+                f"experiment function {node.name} is not registered",
+                hint="decorate with @register(\"<experiment-id>\") from "
+                "repro.experiments.base",
+            )
+
+
+@rule(
+    "fault-declares-injection",
+    description="FaultModel subclass missing injection_points declaration",
+)
+def check_fault_declares_injection(ctx: FileContext) -> None:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not (_base_names(node) & {"FaultModel", "PoissonFault"}):
+            continue
+        if "injection_points" not in _class_member_names(node):
+            ctx.report(
+                "fault-declares-injection",
+                node,
+                f"fault model {node.name} does not declare its "
+                "injection_points",
+                hint="add `injection_points = (...)` with values from "
+                f"{sorted(FAULT_INJECTION_POINTS)}",
+            )
+
+
+# ----------------------------------------------------------------------
+# Project-scope rules
+# ----------------------------------------------------------------------
+
+
+def _registry_policy_names(ctx: FileContext) -> Optional[Set[str]]:
+    """Class names referenced in POLICY_REGISTRY's dict literal."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):  # POLICY_REGISTRY: Dict[...] = {}
+            targets = [node.target]
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "POLICY_REGISTRY"
+            for t in targets
+        ):
+            continue
+        if node.value is None or not isinstance(node.value, ast.Dict):
+            return set()
+        names: Set[str] = set()
+        for value in node.value.values:
+            if isinstance(value, ast.Name):
+                names.add(value.id)
+            elif isinstance(value, ast.Attribute):
+                names.add(value.attr)
+        return names
+    return None
+
+
+@rule(
+    "policy-registered",
+    scope="project",
+    description="ReplacementPolicy subclass absent from POLICY_REGISTRY",
+)
+def check_policy_registered(project: Project) -> None:
+    registry_names: Optional[Set[str]] = None
+    registry_seen = False
+    for ctx in project.files:
+        names = _registry_policy_names(ctx)
+        if names is not None:
+            registry_seen = True
+            registry_names = (registry_names or set()) | names
+    if not registry_seen:
+        # Tree under lint does not contain the registry module (e.g. a
+        # single-file invocation): nothing to cross-check.
+        return
+    for ctx, node in _subclasses_of(project, "ReplacementPolicy"):
+        if node.name.startswith("_"):
+            continue
+        if node.name not in registry_names:
+            ctx.report(
+                "policy-registered",
+                node,
+                f"policy {node.name} is not in POLICY_REGISTRY",
+                hint="register it in repro/replacement/__init__.py so "
+                "experiments can select it by name",
+            )

@@ -1,0 +1,163 @@
+"""Runtime sanitizer orchestration: machines, hierarchies, schedulers.
+
+:func:`sanitize_machine` arms an entire simulated machine with the
+invariant-checking proxies from :mod:`repro.analysis.proxies` plus two
+scheduler-level checks:
+
+* **cycle monotonicity** — within one scheduler run, a thread never
+  issues an operation at an earlier cycle than its previous one (cycle
+  charges never go backwards);
+* **non-negative charges** — no operation reports a negative cycle
+  cost.
+
+Enable it three ways:
+
+* ``Machine(..., sanitize=True)`` — one machine;
+* :func:`enable_sanitize` — process-wide, so every machine built
+  afterwards is sanitized (this is what the CLI ``--sanitize`` flag
+  sets before dispatching);
+* ``ExperimentRunner(sanitize=True)`` — scoped to each experiment run.
+
+Sanitizing changes no simulation behaviour and draws no randomness;
+results are bit-identical, at roughly 1.5-2x slowdown on
+policy-transition-heavy runs (one snapshot + structural check per
+replacement-state transition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.proxies import sanitize_cache
+from repro.analysis.trace import AccessTrace
+from repro.common.errors import InvariantViolation
+
+_GLOBAL_SANITIZE = False
+
+
+def enable_sanitize(enabled: bool = True) -> None:
+    """Turn process-wide sanitization on (or off).
+
+    Machines built with ``sanitize=None`` (the default) consult this
+    flag, so flipping it here arms every machine an experiment builds
+    without threading an option through each run function.
+    """
+    global _GLOBAL_SANITIZE
+    _GLOBAL_SANITIZE = enabled
+
+
+def sanitize_enabled() -> bool:
+    """Whether process-wide sanitization is on."""
+    return _GLOBAL_SANITIZE
+
+
+class scoped_sanitize:
+    """Context manager enabling sanitization for a ``with`` block."""
+
+    def __enter__(self):
+        self._previous = sanitize_enabled()
+        enable_sanitize(True)
+        return self
+
+    def __exit__(self, *exc_info):
+        enable_sanitize(self._previous)
+        return False
+
+
+def sanitize_hierarchy(hierarchy, trace: Optional[AccessTrace] = None):
+    """Wrap every cache level of a hierarchy, sharing one trace.
+
+    Also wraps ``hierarchy.access`` so the trace tail interleaves the
+    demand stream with the policy transitions it caused.
+    """
+    if trace is None:
+        trace = AccessTrace()
+    if getattr(hierarchy, "_sanitize_trace", None) is not None:
+        return hierarchy
+    sanitize_cache(hierarchy.l1, trace=trace)
+    sanitize_cache(hierarchy.l2, trace=trace)
+    if hierarchy.llc is not None:
+        sanitize_cache(hierarchy.llc, trace=trace)
+
+    original_access = hierarchy.access
+
+    def traced_access(access, count=True):
+        kind = getattr(access.access_type, "value", access.access_type)
+        trace.record(
+            f"{kind} addr={access.address:#x} tid={access.thread_id}"
+        )
+        return original_access(access, count=count)
+
+    hierarchy.access = traced_access
+    hierarchy._sanitize_trace = trace
+    return hierarchy
+
+
+def sanitize_scheduler(scheduler, trace: Optional[AccessTrace] = None):
+    """Attach cycle-accounting checks to one scheduler instance."""
+    if trace is None:
+        trace = AccessTrace()
+    if getattr(scheduler, "_sanitize_trace", None) is not None:
+        return scheduler
+    last_issue: Dict[int, Tuple[str, float]] = {}
+    original_execute = scheduler._execute
+    original_run = scheduler.run
+
+    def checked_execute(thread, op, now):
+        previous = last_issue.get(id(thread))
+        if previous is not None and now < previous[1]:
+            raise InvariantViolation(
+                f"thread {thread.name!r} issued at cycle {now:.1f} after "
+                f"issuing at {previous[1]:.1f}; cycle charges went "
+                "backwards",
+                invariant="cycle-monotonicity",
+                trace=trace.tail(),
+            )
+        cost = original_execute(thread, op, now)
+        if cost < 0:
+            raise InvariantViolation(
+                f"operation {op!r} of thread {thread.name!r} charged "
+                f"{cost:.1f} cycles; charges must be >= 0",
+                invariant="negative-cycle-charge",
+                trace=trace.tail(),
+            )
+        last_issue[id(thread)] = (thread.name, now)
+        return cost
+
+    def checked_run(*args, **kwargs):
+        # Threads may be restarted (ready_at back to 0) between runs of
+        # one scheduler; monotonicity is per run.
+        last_issue.clear()
+        return original_run(*args, **kwargs)
+
+    scheduler._execute = checked_execute
+    scheduler.run = checked_run
+    scheduler._sanitize_trace = trace
+    return scheduler
+
+
+def sanitize_machine(machine, trace_depth: int = 32):
+    """Arm a :class:`~repro.sim.machine.Machine` with every check.
+
+    The hierarchy's caches, every scheduler the machine subsequently
+    builds, and the shared access trace are wired together; the trace
+    is exposed as ``machine.sanitize_trace``.  Idempotent.
+    """
+    if getattr(machine, "sanitize_trace", None) is not None:
+        return machine
+    trace = AccessTrace(trace_depth)
+    sanitize_hierarchy(machine.hierarchy, trace=trace)
+
+    original_ht = machine.hyper_threaded
+    original_ts = machine.time_sliced
+
+    def hyper_threaded(*args, **kwargs):
+        return sanitize_scheduler(original_ht(*args, **kwargs), trace=trace)
+
+    def time_sliced(*args, **kwargs):
+        return sanitize_scheduler(original_ts(*args, **kwargs), trace=trace)
+
+    machine.hyper_threaded = hyper_threaded
+    machine.time_sliced = time_sliced
+    machine.sanitize_trace = trace
+    return machine

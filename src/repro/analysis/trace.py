@@ -1,0 +1,44 @@
+"""Bounded access-trace ring buffer for sanitizer diagnostics.
+
+When a proxy detects a corrupted state it raises
+:class:`~repro.common.errors.InvariantViolation` carrying the last few
+operations that led up to the corruption — the difference between "a
+Tree-PLRU bit left {0,1}" and a reproducible bug report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class AccessTrace:
+    """Fixed-depth log of recent simulator operations.
+
+    One trace is shared by every proxy wrapped around one machine (or
+    one cache), so the tail interleaves policy transitions with the
+    cache/hierarchy operations that caused them, in order.
+
+    Args:
+        depth: Number of events retained (oldest fall off).
+    """
+
+    def __init__(self, depth: int = 32):
+        self._events: Deque[str] = deque(maxlen=depth)
+        self.depth = depth
+
+    def record(self, event: str) -> None:
+        self._events.append(event)
+
+    def tail(self) -> Tuple[str, ...]:
+        """The retained events, oldest first."""
+        return tuple(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"AccessTrace(depth={self.depth}, held={len(self._events)})"

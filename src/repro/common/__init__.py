@@ -9,6 +9,8 @@ from repro.common.errors import (
     ConfigurationError,
     ExperimentTimeout,
     FaultInjectionError,
+    InvariantViolation,
+    LintError,
     ReproError,
     SimulationError,
 )
@@ -38,6 +40,8 @@ __all__ = [
     "ExperimentTimeout",
     "FaultInjectionError",
     "Histogram",
+    "InvariantViolation",
+    "LintError",
     "bar_histogram",
     "MemoryAccess",
     "ReproError",

@@ -49,3 +49,67 @@ class ExperimentTimeout(ReproError):
     Raised (and caught) by the resilient runner; carries enough context
     in its message to identify the experiment and the budget it blew.
     """
+
+
+class InvariantViolation(SimulationError):
+    """Replacement/cache/scheduler state broke a structural invariant.
+
+    Raised by the sanitizer proxies (``repro.analysis``) at the exact
+    state transition that corrupted the model — a Tree-PLRU bit leaving
+    {0, 1}, true-LRU ages ceasing to be a permutation, a locked PL-cache
+    line being evicted, a cycle charge going backwards — rather than
+    three experiments later as a wrong BER number.
+
+    Args:
+        message: What invariant broke.
+        invariant: Short identifier of the violated invariant
+            (e.g. ``"true-lru-permutation"``).
+        set_index: Cache set whose state is corrupt, when known.
+        way: Offending way index, when known.
+        trace: Tail of the access trace leading up to the violation,
+            oldest first.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        invariant: str = "",
+        set_index=None,
+        way=None,
+        trace=(),
+    ):
+        self.invariant = invariant
+        self.set_index = set_index
+        self.way = way
+        self.trace = tuple(trace)
+        where = []
+        if set_index is not None:
+            where.append(f"set={set_index}")
+        if way is not None:
+            where.append(f"way={way}")
+        parts = [message]
+        if invariant:
+            parts.append(f"[{invariant}]")
+        if where:
+            parts.append(f"({', '.join(where)})")
+        text = " ".join(parts)
+        if self.trace:
+            text += "\n  trace tail (oldest first):\n" + "\n".join(
+                f"    {event}" for event in self.trace
+            )
+        super().__init__(text)
+
+
+class LintError(ReproError):
+    """One or more static-invariant lint findings, as a raisable summary.
+
+    Carries the structured findings so programmatic callers (the pytest
+    hook, CI wrappers) can render ``file:line`` diagnostics instead of a
+    bare boolean.
+    """
+
+    def __init__(self, findings):
+        self.findings = list(findings)
+        lines = [f"{len(self.findings)} lint finding(s):"]
+        lines += [finding.render() for finding in self.findings]
+        super().__init__("\n".join(lines))

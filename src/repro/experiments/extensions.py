@@ -14,8 +14,6 @@ These realize directions the paper sketches but does not evaluate:
 
 from __future__ import annotations
 
-import random
-
 from repro.attacks.side_channel import LRUSideChannelAttack, TableLookupVictim
 from repro.cache.config import CacheConfig
 from repro.cache.hierarchy import CacheHierarchy
@@ -26,6 +24,7 @@ from repro.channels.evaluation import evaluate_hyper_threaded, random_message
 from repro.channels.llc import LLCChannel
 from repro.channels.multiset import ParallelLRUChannel
 from repro.channels.protocol import ProtocolConfig
+from repro.common.rng import make_rng
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.machine import Machine
 from repro.sim.specs import INTEL_E5_2690
@@ -49,7 +48,7 @@ def run_ext_llc(bits: int = 48, rng: int = 5) -> ExperimentResult:
             "level down."
         ),
     )
-    message_rng = random.Random(7)
+    message_rng = make_rng(7)
     message = [message_rng.randrange(2) for _ in range(bits)]
     for policy in ("lru", "tree-plru", "srrip", "random"):
         llc = CacheConfig(

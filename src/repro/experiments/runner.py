@@ -93,6 +93,12 @@ class ExperimentRunner:
             re-run, and every new completion is persisted immediately.
         registry: Experiment-id → callable mapping; defaults to the
             global registry (injection point for tests).
+        sanitize: Run every experiment with the runtime sanitizer armed
+            (see :mod:`repro.analysis.sanitize`): machines the
+            experiment builds get invariant-checking proxies, and state
+            corruption surfaces as a structured
+            :class:`~repro.common.errors.InvariantViolation` failure
+            for that experiment instead of a silently wrong table.
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class ExperimentRunner:
         retries: int = 1,
         checkpoint_path: Optional[str] = None,
         registry: Optional[Dict[str, Callable[..., ExperimentResult]]] = None,
+        sanitize: bool = False,
     ):
         if timeout_seconds is not None and timeout_seconds <= 0:
             raise ValueError(
@@ -112,6 +119,7 @@ class ExperimentRunner:
         self.retries = retries
         self.checkpoint_path = checkpoint_path
         self.registry = EXPERIMENT_REGISTRY if registry is None else registry
+        self.sanitize = sanitize
 
     # -- single experiment ---------------------------------------------
 
@@ -128,6 +136,11 @@ class ExperimentRunner:
             kwargs = {}
             if rotate_seed and index > 0:
                 kwargs["rng"] = self._rotated_seed(fn, index)
+            if self.sanitize:
+                from repro.analysis.sanitize import scoped_sanitize
+
+                with scoped_sanitize():
+                    return self._call_with_timeout(experiment_id, fn, kwargs)
             return self._call_with_timeout(experiment_id, fn, kwargs)
 
         return retry_with_backoff(

@@ -11,6 +11,7 @@ the paper's Section VIII discussion.
 from repro.faults.base import (
     FAULT_ADDRESS_SPACE,
     FAULT_THREAD,
+    INJECTION_POINTS,
     FaultInjector,
     FaultModel,
     PoissonFault,
@@ -25,6 +26,7 @@ from repro.faults.timing import TSCFault
 __all__ = [
     "FAULT_ADDRESS_SPACE",
     "FAULT_THREAD",
+    "INJECTION_POINTS",
     "ContextSwitchFault",
     "FaultInjector",
     "FaultModel",

@@ -45,6 +45,12 @@ FAULT_THREAD = -2
 #: processes (interrupt handlers, sibling tasks).
 FAULT_ADDRESS_SPACE = 0x7F
 
+#: The simulator hooks a fault model may use.  Every concrete model
+#: declares which subset it uses via its ``injection_points`` class
+#: attribute (enforced statically by the ``fault-declares-injection``
+#: lint rule and at attach time by :meth:`FaultInjector.attach`).
+INJECTION_POINTS = frozenset({"time-advance", "tsc", "observation"})
+
 
 class FaultModel:
     """One kind of environmental disturbance.
@@ -57,6 +63,11 @@ class FaultModel:
 
     #: Short identifier used in RNG stream derivation and reports.
     name = "fault"
+
+    #: Which of the three hooks this model uses, from
+    #: :data:`INJECTION_POINTS`.  The base class uses none; concrete
+    #: models must declare theirs.
+    injection_points: Tuple[str, ...] = ()
 
     def __init__(self) -> None:
         self.hierarchy: Optional[CacheHierarchy] = None
@@ -138,6 +149,8 @@ class PoissonFault(FaultModel):
             faster transmission (fewer samples per bit) suffers more.
     """
 
+    injection_points = ("time-advance",)
+
     def __init__(self, rate_per_mcycle: float):
         super().__init__()
         if rate_per_mcycle < 0:
@@ -202,6 +215,18 @@ class FaultInjector:
         if not isinstance(model, FaultModel):
             raise FaultInjectionError(
                 f"expected a FaultModel, got {type(model).__name__}"
+            )
+        unknown = set(model.injection_points) - INJECTION_POINTS
+        if unknown:
+            raise FaultInjectionError(
+                f"fault model {model.name!r} declares unknown injection "
+                f"point(s) {sorted(unknown)}; known: "
+                f"{sorted(INJECTION_POINTS)}"
+            )
+        if not model.injection_points:
+            raise FaultInjectionError(
+                f"fault model {model.name!r} declares no injection "
+                "points; attaching it could never disturb anything"
             )
         if self._rng is None:
             self._rng = self._rng_source()

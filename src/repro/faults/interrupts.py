@@ -39,6 +39,8 @@ class InterruptBurstFault(PoissonFault):
 
     name = "interrupts"
 
+    injection_points = ("time-advance",)
+
     def __init__(
         self,
         rate_per_mcycle: float,

@@ -32,6 +32,8 @@ class PrefetcherFault(PoissonFault):
 
     name = "prefetcher"
 
+    injection_points = ("time-advance",)
+
     def __init__(
         self, rate_per_mcycle: float, degree: int = 4, stride_lines: int = 1
     ):

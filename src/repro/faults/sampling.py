@@ -34,6 +34,8 @@ class SampleDropFault(FaultModel):
 
     name = "sample-drop"
 
+    injection_points = ("observation",)
+
     def __init__(self, probability: float):
         super().__init__()
         self.probability = _check_probability(probability, "drop probability")
@@ -53,6 +55,8 @@ class SampleDuplicateFault(FaultModel):
     """
 
     name = "sample-dup"
+
+    injection_points = ("observation",)
 
     def __init__(self, probability: float):
         super().__init__()

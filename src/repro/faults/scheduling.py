@@ -39,6 +39,8 @@ class ContextSwitchFault(PoissonFault):
 
     name = "ctx-switch"
 
+    injection_points = ("time-advance",)
+
     def __init__(self, rate_per_mcycle: float, working_set_fraction: float = 1.0):
         super().__init__(rate_per_mcycle)
         if not 0.0 < working_set_fraction <= 4.0:

@@ -36,6 +36,8 @@ class TSCFault(FaultModel):
 
     name = "tsc"
 
+    injection_points = ("tsc",)
+
     def __init__(self, jitter_cycles: float = 0.0, drift_ppm: float = 0.0):
         super().__init__()
         if jitter_cycles < 0:

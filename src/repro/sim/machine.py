@@ -35,6 +35,12 @@ class Machine:
         faults: Fault models to inject into every run on this machine
             (Section VIII environment noise).  More can be attached
             later through :attr:`faults`.
+        sanitize: Wrap this machine's caches, replacement policies, and
+            schedulers in invariant-checking proxies
+            (:mod:`repro.analysis.sanitize`); state corruption raises
+            :class:`~repro.common.errors.InvariantViolation` at the
+            offending transition.  ``None`` (the default) follows the
+            process-wide flag set by the CLI's ``--sanitize``.
     """
 
     def __init__(
@@ -45,6 +51,7 @@ class Machine:
         prefetcher: Optional[StridePrefetcher] = None,
         invisible_speculation: bool = False,
         faults: Optional[Sequence[FaultModel]] = None,
+        sanitize: Optional[bool] = None,
     ):
         self.spec = spec
         self.rng = make_rng(rng)
@@ -64,6 +71,17 @@ class Machine:
         )
         if faults:
             self.faults.attach_all(faults)
+        # Imported lazily: repro.analysis builds on the cache layer, so
+        # a module-level import here would be circular-adjacent and
+        # would tax every Machine construction with the lint machinery.
+        if sanitize is None:
+            from repro.analysis.sanitize import sanitize_enabled
+
+            sanitize = sanitize_enabled()
+        if sanitize:
+            from repro.analysis.sanitize import sanitize_machine
+
+            sanitize_machine(self)
 
     def hyper_threaded(
         self, threads: Sequence[SimThread], jitter: float = 2.0

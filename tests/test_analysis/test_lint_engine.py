@@ -1,0 +1,138 @@
+"""Engine-level tests for the lint pass (`repro.analysis.lint`)."""
+
+import pytest
+
+from repro.analysis import lint_paths, lint_sources
+from repro.analysis.lint import LintFinding, assert_clean, iter_python_files
+from repro.common.errors import LintError
+
+
+def _findings(source, path="src/repro/example.py", rules=None):
+    return lint_sources([(path, source)], rules)
+
+
+class TestFindingFormat:
+    def test_render_contains_path_line_rule_and_hint(self):
+        finding = LintFinding(
+            path="src/repro/x.py",
+            line=17,
+            rule_id="no-direct-random",
+            message="direct import",
+            hint="use make_rng",
+        )
+        text = finding.render()
+        assert "src/repro/x.py:17" in text
+        assert "[no-direct-random]" in text
+        assert "use make_rng" in text
+
+    def test_findings_sorted_by_path_then_line(self):
+        findings = lint_sources(
+            [
+                ("src/repro/b.py", "import random\n"),
+                ("src/repro/a.py", "x = 1\nimport random\n"),
+            ]
+        )
+        assert [(f.path, f.line) for f in findings] == [
+            ("src/repro/a.py", 2),
+            ("src/repro/b.py", 1),
+        ]
+
+
+class TestAllowComments:
+    def test_allow_suppresses_matching_rule(self):
+        source = "import random  # repro: allow(no-direct-random)\n"
+        assert _findings(source) == []
+
+    def test_allow_other_rule_does_not_suppress(self):
+        source = "import random  # repro: allow(no-wallclock)\n"
+        assert [f.rule_id for f in _findings(source)] == ["no-direct-random"]
+
+    def test_allow_list_and_wildcard(self):
+        listed = "import random  # repro: allow(no-wallclock, no-direct-random)\n"
+        wild = "import random  # repro: allow(*)\n"
+        assert _findings(listed) == []
+        assert _findings(wild) == []
+
+
+class TestRuleSelection:
+    def test_rule_subset_runs_only_those_rules(self):
+        source = "import random\nimport time\nt = time.time()\n"
+        only_random = _findings(source, rules=["no-direct-random"])
+        assert [f.rule_id for f in only_random] == ["no-direct-random"]
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError, match="unknown rule"):
+            _findings("x = 1\n", rules=["no-such-rule"])
+
+
+class TestSyntaxErrors:
+    def test_unparsable_file_is_reported_not_crashed(self):
+        findings = _findings("def broken(:\n")
+        assert len(findings) == 1
+        assert findings[0].rule_id == "syntax"
+        assert findings[0].line >= 1
+
+
+class TestFileDiscovery:
+    def test_walks_directories_and_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.py").write_text("")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python")
+        files = iter_python_files([str(tmp_path)])
+        assert [f for f in files if "__pycache__" in f] == []
+        assert len(files) == 1
+
+    def test_lint_paths_reads_files_from_disk(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        findings = lint_paths([str(bad)])
+        assert [f.rule_id for f in findings] == ["no-direct-random"]
+        assert findings[0].path == str(bad)
+
+
+class TestAssertClean:
+    def test_raises_lint_error_with_structured_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        with pytest.raises(LintError) as excinfo:
+            assert_clean([str(bad)])
+        error = excinfo.value
+        assert len(error.findings) == 1
+        assert error.findings[0].rule_id == "no-direct-random"
+        assert f"{bad}:1" in str(error)
+
+    def test_clean_tree_passes(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("from repro.common.rng import make_rng\n")
+        assert_clean([str(good)])
+
+
+class TestCli:
+    def test_lint_exit_codes_and_output(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr()
+        assert f"{bad}:1: [no-direct-random]" in out.out
+
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main(["lint", str(good)]) == 0
+
+    def test_lint_empty_target_is_usage_error(self, tmp_path):
+        from repro.analysis.__main__ import main
+
+        assert main(["lint", str(tmp_path)]) == 2
+
+    def test_rules_lists_every_registered_rule(self, capsys):
+        from repro.analysis.__main__ import main
+        from repro.analysis.rules import RULE_REGISTRY
+
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_REGISTRY:
+            assert rule_id in out

@@ -1,0 +1,22 @@
+"""The lint pass as a pytest hook: the merged tree must stay clean.
+
+This is the in-suite twin of the CI job that runs
+``python -m repro.analysis lint src/repro`` — a regression anywhere in
+the package (a stray ``import random``, an unregistered policy, an
+undeclared fault model) fails the test suite with file:line findings.
+"""
+
+import os
+
+from repro.analysis import assert_clean
+
+_REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    "src",
+    "repro",
+)
+
+
+def test_repro_package_is_lint_clean():
+    assert os.path.isdir(_REPO_SRC), _REPO_SRC
+    assert_clean([_REPO_SRC])

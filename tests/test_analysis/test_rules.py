@@ -1,0 +1,259 @@
+"""Per-rule tests: each rule fires on synthetic bad sources and stays
+quiet on the idiomatic equivalents."""
+
+from repro.analysis import lint_sources
+from repro.analysis.rules import (
+    FAULT_INJECTION_POINTS,
+    POLICY_CONTRACT,
+    RULE_REGISTRY,
+)
+
+
+def _rule_hits(source, path="src/repro/example.py", rules=None):
+    return [
+        (f.rule_id, f.line) for f in lint_sources([(path, source)], rules)
+    ]
+
+
+class TestNoDirectRandom:
+    def test_flags_import_and_from_import(self):
+        source = "import random\nfrom random import choice\n"
+        assert _rule_hits(source, rules=["no-direct-random"]) == [
+            ("no-direct-random", 1),
+            ("no-direct-random", 2),
+        ]
+
+    def test_rng_module_itself_is_exempt(self):
+        source = "import random\n"
+        path = "src/repro/common/rng.py"
+        assert _rule_hits(source, path, rules=["no-direct-random"]) == []
+
+    def test_numpy_random_attribute_is_fine(self):
+        source = "import numpy as np\nx = np.random\n"
+        assert _rule_hits(source, rules=["no-direct-random"]) == []
+
+
+class TestNoWallclock:
+    def test_flags_time_time_and_datetime_now(self):
+        source = (
+            "import time, datetime\n"
+            "a = time.time()\n"
+            "b = datetime.datetime.now()\n"
+            "c = datetime.datetime.utcnow()\n"
+        )
+        hits = _rule_hits(source, rules=["no-wallclock"])
+        assert [line for _, line in hits] == [2, 3, 4]
+
+    def test_monotonic_is_allowed(self):
+        source = "import time\nstart = time.monotonic()\n"
+        assert _rule_hits(source, rules=["no-wallclock"]) == []
+
+
+class TestNoCycleArithmetic:
+    def test_flags_ready_at_writes_outside_sim(self):
+        source = "def f(thread):\n    thread.ready_at += 100\n"
+        assert _rule_hits(source, rules=["no-cycle-arithmetic"]) == [
+            ("no-cycle-arithmetic", 2)
+        ]
+
+    def test_scheduler_layer_is_exempt(self):
+        source = "def f(thread):\n    thread.ready_at = 0\n"
+        path = "src/repro/sim/scheduler.py"
+        assert _rule_hits(source, path, rules=["no-cycle-arithmetic"]) == []
+
+    def test_reads_are_fine(self):
+        source = "def f(thread):\n    return thread.ready_at\n"
+        assert _rule_hits(source, rules=["no-cycle-arithmetic"]) == []
+
+
+class TestPolicyContract:
+    def test_flags_partial_policy(self):
+        source = (
+            "class HalfPolicy(ReplacementPolicy):\n"
+            "    def touch(self, way):\n"
+            "        pass\n"
+        )
+        hits = lint_sources(
+            [("src/repro/replacement/half.py", source)], ["policy-contract"]
+        )
+        assert len(hits) == 1
+        for member in POLICY_CONTRACT:
+            if member != "touch":
+                assert member in hits[0].message
+
+    def test_full_contract_passes(self):
+        body = "\n".join(
+            f"    def {name}(self):\n        pass" for name in POLICY_CONTRACT
+        )
+        source = f"class FullPolicy(ReplacementPolicy):\n{body}\n"
+        assert (
+            lint_sources(
+                [("src/repro/replacement/full.py", source)],
+                ["policy-contract"],
+            )
+            == []
+        )
+
+    def test_unrelated_class_ignored(self):
+        source = "class Helper:\n    pass\n"
+        assert _rule_hits(source, rules=["policy-contract"]) == []
+
+
+class TestExperimentRegistered:
+    def test_flags_unregistered_run_function(self):
+        source = "def run_table9(trials=100):\n    pass\n"
+        path = "src/repro/experiments/table9.py"
+        assert _rule_hits(source, path, rules=["experiment-registered"]) == [
+            ("experiment-registered", 1)
+        ]
+
+    def test_registered_run_function_passes(self):
+        source = (
+            "from repro.experiments.base import register\n"
+            '@register("table9")\n'
+            "def run_table9(trials=100):\n"
+            "    pass\n"
+        )
+        path = "src/repro/experiments/table9.py"
+        assert _rule_hits(source, path, rules=["experiment-registered"]) == []
+
+    def test_helpers_and_other_packages_ignored(self):
+        helper = "def run_sweep_inner():\n    pass\n"
+        assert (
+            _rule_hits(
+                helper,
+                "src/repro/channels/probe.py",
+                rules=["experiment-registered"],
+            )
+            == []
+        )
+
+
+class TestFaultDeclaresInjection:
+    def test_flags_undeclared_fault_model(self):
+        source = "class QuietFault(FaultModel):\n    name = 'quiet'\n"
+        hits = lint_sources(
+            [("src/repro/faults/quiet.py", source)],
+            ["fault-declares-injection"],
+        )
+        assert len(hits) == 1
+        for point in sorted(FAULT_INJECTION_POINTS):
+            assert point in hits[0].hint
+
+    def test_declared_fault_model_passes(self):
+        source = (
+            "class LoudFault(PoissonFault):\n"
+            "    name = 'loud'\n"
+            "    injection_points = ('time-advance',)\n"
+        )
+        assert (
+            lint_sources(
+                [("src/repro/faults/loud.py", source)],
+                ["fault-declares-injection"],
+            )
+            == []
+        )
+
+
+# A minimal registry module, mirroring repro/replacement/__init__.py.
+_REGISTRY_SOURCE = (
+    "POLICY_REGISTRY = {\n"
+    '    "lru": TrueLRU,\n'
+    "}\n"
+)
+
+
+class TestPolicyRegistered:
+    def test_flags_policy_missing_from_registry(self):
+        orphan = (
+            "class OrphanPolicy(ReplacementPolicy):\n"
+            "    pass\n"
+        )
+        hits = lint_sources(
+            [
+                ("src/repro/replacement/__init__.py", _REGISTRY_SOURCE),
+                ("src/repro/replacement/orphan.py", orphan),
+            ],
+            ["policy-registered"],
+        )
+        assert [(f.rule_id, f.path) for f in hits] == [
+            ("policy-registered", "src/repro/replacement/orphan.py")
+        ]
+
+    def test_transitive_subclasses_are_checked(self):
+        tree = (
+            "class TrueLRU(ReplacementPolicy):\n"
+            "    pass\n"
+            "class SegmentedLRU(TrueLRU):\n"
+            "    pass\n"
+        )
+        hits = lint_sources(
+            [
+                ("src/repro/replacement/__init__.py", _REGISTRY_SOURCE),
+                ("src/repro/replacement/tree.py", tree),
+            ],
+            ["policy-registered"],
+        )
+        # TrueLRU is registered; its subclass SegmentedLRU is not.
+        assert [f.message for f in hits] == [
+            "policy SegmentedLRU is not in POLICY_REGISTRY"
+        ]
+
+    def test_private_policies_exempt(self):
+        source = "class _ProxyPolicy(ReplacementPolicy):\n    pass\n"
+        hits = lint_sources(
+            [
+                ("src/repro/replacement/__init__.py", _REGISTRY_SOURCE),
+                ("src/repro/replacement/private.py", source),
+            ],
+            ["policy-registered"],
+        )
+        assert hits == []
+
+    def test_annotated_registry_assignment_is_recognized(self):
+        # The real registry module uses an annotated assignment
+        # (`POLICY_REGISTRY: Dict[...] = {...}`); the rule must parse
+        # that form too, not just a bare Assign.
+        annotated = (
+            "POLICY_REGISTRY: Dict[str, Callable] = {\n"
+            '    "lru": TrueLRU,\n'
+            "}\n"
+        )
+        orphan = "class OrphanPolicy(ReplacementPolicy):\n    pass\n"
+        hits = lint_sources(
+            [
+                ("src/repro/replacement/__init__.py", annotated),
+                ("src/repro/replacement/orphan.py", orphan),
+            ],
+            ["policy-registered"],
+        )
+        assert [f.rule_id for f in hits] == ["policy-registered"]
+
+    def test_no_registry_in_scope_is_silent(self):
+        # Single-file lint without the registry module: cannot
+        # cross-check, must not false-positive.
+        source = "class LonePolicy(ReplacementPolicy):\n    pass\n"
+        hits = lint_sources(
+            [("src/repro/replacement/lone.py", source)],
+            ["policy-registered"],
+        )
+        assert hits == []
+
+
+class TestRegistry:
+    def test_every_advertised_rule_is_registered(self):
+        expected = {
+            "no-direct-random",
+            "no-wallclock",
+            "no-cycle-arithmetic",
+            "policy-contract",
+            "policy-registered",
+            "experiment-registered",
+            "fault-declares-injection",
+        }
+        assert expected <= set(RULE_REGISTRY)
+
+    def test_rules_have_descriptions_and_scopes(self):
+        for rule in RULE_REGISTRY.values():
+            assert rule.description
+            assert rule.scope in ("file", "project")

@@ -1,0 +1,160 @@
+"""Property-style tests: the sanitizer is silent and transparent on
+healthy policies.
+
+Every registered replacement policy is driven through randomized,
+seeded access sequences twice — bare and wrapped in
+:class:`SanitizingPolicy` — and must (a) raise no
+``InvariantViolation`` and (b) make bit-identical decisions, because
+the proxy holds no randomness and changes no behaviour.
+"""
+
+import pytest
+
+from repro.analysis.proxies import SanitizingPolicy, checker_for
+from repro.common.rng import make_rng
+from repro.replacement import POLICY_REGISTRY, make_policy
+from repro.sim import INTEL_E5_2690, Machine
+
+WAYS = 8
+SEQUENCE_LENGTH = 400
+SEEDS = [11, 42, 977]
+
+
+def _build(name, seed):
+    if name == "random":
+        return make_policy(name, WAYS, rng=seed)
+    if name == "partitioned-plru":
+        return make_policy(name, WAYS, domain_ways={0: 4, 1: 4})
+    return make_policy(name, WAYS)
+
+
+def _drive(policy, seed):
+    """One seeded op sequence; returns the decision/state transcript."""
+    rng = make_rng(seed)
+    transcript = []
+    for _ in range(SEQUENCE_LENGTH):
+        op = rng.choice(["touch", "victim", "victim_masked", "fill", "inv"])
+        if op == "touch":
+            policy.touch(rng.randrange(WAYS))
+        elif op == "victim":
+            transcript.append(policy.victim())
+        elif op == "victim_masked":
+            valid = [rng.random() < 0.8 for _ in range(WAYS)]
+            if hasattr(policy, "victim_for"):
+                transcript.append(policy.victim_for(rng.choice([0, 1]), valid))
+            else:
+                transcript.append(policy.victim(valid))
+        elif op == "fill":
+            on_fill = getattr(policy, "on_fill", None)
+            way = rng.randrange(WAYS)
+            if on_fill is not None:
+                on_fill(way)
+            else:
+                policy.touch(way)
+        else:
+            policy.invalidate(rng.randrange(WAYS))
+        transcript.append(policy.state_snapshot())
+    return transcript
+
+
+@pytest.mark.parametrize("name", sorted(POLICY_REGISTRY))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sanitized_policy_is_silent_and_bit_identical(name, seed):
+    bare = _build(name, seed)
+    wrapped = SanitizingPolicy(_build(name, seed))
+    assert _drive(wrapped, seed) == _drive(bare, seed)
+
+
+@pytest.mark.parametrize("name", sorted(POLICY_REGISTRY))
+def test_snapshot_restore_round_trip_under_proxy(name):
+    policy = SanitizingPolicy(_build(name, 3))
+    _drive(policy, 3)
+    snapshot = policy.state_snapshot()
+    fresh = SanitizingPolicy(_build(name, 3))
+    fresh.state_restore(snapshot)
+    assert fresh.state_snapshot() == snapshot
+
+
+@pytest.mark.parametrize("name", sorted(POLICY_REGISTRY))
+def test_every_registered_policy_has_a_checker(name):
+    # A policy without a structural checker silently opts out of the
+    # sanitizer; adding one to the registry must come with a checker.
+    assert checker_for(_build(name, 1)) is not None
+
+
+def test_proxies_do_not_stack():
+    inner = make_policy("lru", WAYS)
+    once = SanitizingPolicy(inner)
+    twice = SanitizingPolicy(once)
+    assert twice.inner is inner
+
+
+def test_state_bits_passthrough():
+    inner = make_policy("tree-plru", WAYS)
+    assert SanitizingPolicy(inner).state_bits == inner.state_bits
+
+
+class TestSanitizedMachine:
+    def test_machine_option_installs_proxies_everywhere(self):
+        machine = Machine(INTEL_E5_2690, rng=5, sanitize=True)
+        for cache in (machine.l1, machine.l2):
+            assert all(
+                isinstance(s.policy, SanitizingPolicy) for s in cache.sets
+            )
+        assert machine.sanitize_trace is not None
+
+    def test_default_machine_stays_unsanitized(self):
+        machine = Machine(INTEL_E5_2690, rng=5)
+        assert not any(
+            isinstance(s.policy, SanitizingPolicy) for s in machine.l1.sets
+        )
+
+    def test_sanitize_machine_is_idempotent(self):
+        machine = Machine(INTEL_E5_2690, rng=5, sanitize=True)
+        from repro.analysis.sanitize import sanitize_machine
+
+        trace = machine.sanitize_trace
+        sanitize_machine(machine)
+        assert machine.sanitize_trace is trace
+
+    def test_end_to_end_covert_channel_run_stays_silent(self):
+        from repro.channels import (
+            CovertChannelProtocol,
+            ProtocolConfig,
+            SharedMemoryLRUChannel,
+            runlength_decode,
+            sample_bits,
+        )
+
+        machine = Machine(INTEL_E5_2690, rng=2024, sanitize=True)
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, target_set=1, d=8
+        )
+        protocol = CovertChannelProtocol(
+            machine, channel, ProtocolConfig(ts=6000, tr=600)
+        )
+        message = [1, 0, 1, 1]
+        run = protocol.run_hyper_threaded(message)
+        decoded = runlength_decode(sample_bits(run), 10)[: len(message)]
+        assert decoded == message
+        assert len(machine.sanitize_trace) > 0
+
+    def test_sanitized_run_is_bit_identical(self):
+        from repro.channels import (
+            CovertChannelProtocol,
+            ProtocolConfig,
+            SharedMemoryLRUChannel,
+            sample_bits,
+        )
+
+        def transfer(sanitize):
+            machine = Machine(INTEL_E5_2690, rng=99, sanitize=sanitize)
+            channel = SharedMemoryLRUChannel.build(
+                machine.spec.hierarchy.l1, target_set=2, d=8
+            )
+            protocol = CovertChannelProtocol(
+                machine, channel, ProtocolConfig(ts=4000, tr=500)
+            )
+            return sample_bits(protocol.run_hyper_threaded([1, 0, 1]))
+
+        assert transfer(True) == transfer(False)

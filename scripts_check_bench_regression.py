@@ -1,0 +1,145 @@
+"""Check an engine benchmark run against the committed baseline.
+
+Usage::
+
+    python scripts_check_bench_regression.py CURRENT.json \
+        [--baseline benchmarks/BENCH_engine.json] \
+        [--min-speedup 2.0] [--tolerance 0.25]
+
+Both files are ``pytest-benchmark --benchmark-json`` output from
+``benchmarks/test_bench_engine.py``.  Absolute times are machine-bound
+and meaningless across hosts, so the check works on the *speedup
+ratios* (reference mean / fast mean, per algorithm), which are
+host-relative:
+
+* every algorithm's fast-engine speedup must reach ``--min-speedup``
+  (the committed baseline shows >= 3x; CI uses a lower floor to absorb
+  shared-runner noise);
+* no algorithm's speedup may fall more than ``--tolerance`` (default
+  25%) below the committed baseline's speedup.
+
+Exit code 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_means(path):
+    """benchmark name -> mean seconds, plus extra_info, from a JSON run."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return {
+        bench["name"]: (bench["stats"]["mean"], bench.get("extra_info", {}))
+        for bench in data["benchmarks"]
+    }
+
+
+def speedups(means):
+    """algorithm -> reference mean / fast mean, for paired engine benches."""
+    by_algorithm = {}
+    for name, (mean, extra) in means.items():
+        algorithm = extra.get("algorithm")
+        engine = extra.get("engine")
+        if algorithm and engine:
+            by_algorithm.setdefault(algorithm, {})[engine] = mean
+    return {
+        algorithm: engines["reference"] / engines["fast"]
+        for algorithm, engines in by_algorithm.items()
+        if "reference" in engines and "fast" in engines
+    }
+
+
+def batch_speedups(means):
+    """Wall-clock ratios for the gated run-all benches, if present.
+
+    Returns (jobs_line, engine_line) human-readable summaries; either
+    may be None when the corresponding benches were not run.
+    """
+    reference_by_jobs = {}
+    fast_serial = None
+    cpu_count = None
+    for _, (mean, extra) in means.items():
+        if "jobs" not in extra:
+            continue
+        cpu_count = extra.get("cpu_count", cpu_count)
+        if extra.get("engine", "reference") == "fast":
+            if extra["jobs"] == 1:
+                fast_serial = mean
+        else:
+            reference_by_jobs[extra["jobs"]] = mean
+    serial = reference_by_jobs.get(1)
+    jobs_line = engine_line = None
+    if serial is not None and len(reference_by_jobs) > 1:
+        workers = min(jobs for jobs in reference_by_jobs if jobs != 1)
+        ratio = serial / reference_by_jobs[workers]
+        jobs_line = (
+            f"run all: {ratio:.2f}x wall-clock with {workers} jobs "
+            f"(host has {cpu_count} CPU(s); parallelism is bounded by "
+            f"core count)"
+        )
+    if serial is not None and fast_serial is not None:
+        engine_line = (
+            f"run all: {serial / fast_serial:.2f}x wall-clock with the "
+            f"fast engine (single process)"
+        )
+    return jobs_line, engine_line
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh --benchmark-json output")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_engine.json",
+        help="committed baseline run (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="absolute floor for every fast-engine speedup "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop below the baseline speedup "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    current = speedups(load_means(args.current))
+    baseline = speedups(load_means(args.baseline))
+    if not current:
+        print("no paired engine benchmarks found in the current run")
+        return 1
+
+    failed = False
+    for algorithm in sorted(current):
+        speedup = current[algorithm]
+        line = f"{algorithm}: fast engine speedup {speedup:.2f}x"
+        reference = baseline.get(algorithm)
+        if reference is not None:
+            floor = reference * (1.0 - args.tolerance)
+            line += f" (baseline {reference:.2f}x, floor {floor:.2f}x)"
+            if speedup < floor:
+                line += "  REGRESSION"
+                failed = True
+        if speedup < args.min_speedup:
+            line += f"  BELOW MINIMUM {args.min_speedup:.2f}x"
+            failed = True
+        print(line)
+
+    for line in batch_speedups(load_means(args.current)):
+        if line is not None:
+            print(line)
+
+    print("benchmark check:", "FAILED" if failed else "ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

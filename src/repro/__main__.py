@@ -8,7 +8,8 @@ Subcommands:
   runner (``repro.experiments.runner``): a crashing or timed-out
   experiment is reported and the batch continues, with the exit code
   reflecting the failures.  ``--timeout``, ``--retries`` and
-  ``--checkpoint`` tune the harness.
+  ``--checkpoint`` tune the harness; ``--jobs N`` fans independent
+  experiments out over N worker processes.
 * ``demo`` — the quickstart byte transfer, for a 10-second sanity check.
 
 Both ``run`` and ``demo`` accept ``--sanitize``: every machine built
@@ -16,6 +17,10 @@ during the run is wrapped in the invariant-checking proxies of
 ``repro.analysis`` and state corruption raises a structured
 ``InvariantViolation`` at the offending transition.  The companion
 static checks live under ``python -m repro.analysis lint``.
+
+Both also accept ``--engine {reference,fast}``: the table-driven fast
+engine is bit-identical to the reference one (``docs/PERFORMANCE.md``)
+and is the way to make big sweeps cheap.
 """
 
 from __future__ import annotations
@@ -42,7 +47,13 @@ def _cmd_run(
     retries: int = 1,
     checkpoint: str = None,
     sanitize: bool = False,
+    jobs: int = 1,
+    engine: str = None,
 ) -> int:
+    if engine is not None:
+        from repro.sim.fastpath import set_default_engine
+
+        set_default_engine(engine)
     from repro.experiments import EXPERIMENT_REGISTRY
     from repro.experiments.runner import ExperimentRunner
 
@@ -72,14 +83,18 @@ def _cmd_run(
         sanitize=sanitize,
     )
     report = runner.run_many(
-        chosen, on_result=show_result, on_failure=show_failure
+        chosen, on_result=show_result, on_failure=show_failure, jobs=jobs
     )
     print()
     print(f"summary: {report.summary()}")
     return 0 if report.ok else 1
 
 
-def _cmd_demo(sanitize: bool = False) -> int:
+def _cmd_demo(sanitize: bool = False, engine: str = None) -> int:
+    if engine is not None:
+        from repro.sim.fastpath import set_default_engine
+
+        set_default_engine(engine)
     if sanitize:
         from repro.analysis.sanitize import enable_sanitize
 
@@ -149,6 +164,23 @@ def main(argv: list = None) -> int:
         help="wrap every machine in invariant-checking proxies; state "
         "corruption fails the experiment with an InvariantViolation",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the batch; experiments are seeded "
+        "deterministically so results match a sequential run "
+        "(default: 1)",
+    )
+    run_parser.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default=None,
+        help="simulation engine; 'fast' uses precompiled replacement "
+        "tables, bit-identical to 'reference' (default: reference, or "
+        "the REPRO_ENGINE environment variable)",
+    )
     demo_parser = sub.add_parser(
         "demo", help="10-second covert-channel sanity check"
     )
@@ -156,6 +188,12 @@ def main(argv: list = None) -> int:
         "--sanitize",
         action="store_true",
         help="run the demo with the runtime sanitizer armed",
+    )
+    demo_parser.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default=None,
+        help="simulation engine for the demo machine",
     )
 
     args = parser.parse_args(argv)
@@ -168,8 +206,10 @@ def main(argv: list = None) -> int:
             retries=args.retries,
             checkpoint=args.checkpoint,
             sanitize=args.sanitize,
+            jobs=args.jobs,
+            engine=args.engine,
         )
-    return _cmd_demo(sanitize=args.sanitize)
+    return _cmd_demo(sanitize=args.sanitize, engine=args.engine)
 
 
 if __name__ == "__main__":

@@ -191,10 +191,30 @@ POLICY_CHECKERS: Dict[Type[ReplacementPolicy], PolicyChecker] = {
 
 
 def checker_for(policy: ReplacementPolicy) -> Optional[PolicyChecker]:
-    """The structural checker for a policy instance, if one exists."""
+    """The structural checker for a policy instance, if one exists.
+
+    Table-driven policies (``repro.replacement.tables.TabledPolicy``)
+    expose snapshots in their base policy's format, so they dispatch to
+    the base policy's checker via ``table_base_type``.
+    """
     for klass in type(policy).__mro__:
         if klass in POLICY_CHECKERS:
             return POLICY_CHECKERS[klass]
+    base_type = getattr(policy, "table_base_type", None)
+    if base_type is not None:
+        for klass in base_type.__mro__:
+            if klass in POLICY_CHECKERS:
+                checker = POLICY_CHECKERS[klass]
+                if hasattr(base_type, "on_fill"):
+                    return checker
+                # The tabled wrapper always exposes on_fill; when the
+                # base policy does not (LRU family), a fill is really a
+                # touch, and the checker must see it as one so rules
+                # like Bit-PLRU saturation keep their full strength.
+                def adapted(policy, op, _checker=checker):
+                    return _checker(policy, "touch" if op == "on_fill" else op)
+
+                return adapted
     return None
 
 

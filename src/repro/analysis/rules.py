@@ -16,7 +16,10 @@ Each rule enforces one repo-wide structural invariant:
     Thread cycle accounting (``ready_at``, ``_slept_from``) is written
     only by the scheduler/machine layer (``repro.sim``).  Anything else
     mutating it bypasses fault-stall charging and breaks the
-    "cycle charges never go backwards" runtime invariant.
+    "cycle charges never go backwards" runtime invariant.  The
+    fast-path engine (``repro.sim.fastpath``) is deliberately *not*
+    exempt: it is cache machinery that merely lives under the package,
+    and it must not touch cycle accounting.
 
 ``policy-contract``
     Every ``ReplacementPolicy`` subclass implements the full base
@@ -260,7 +263,10 @@ _CYCLE_ATTRS = ("ready_at", "_slept_from")
     description="thread cycle accounting mutated outside repro.sim",
 )
 def check_no_cycle_arithmetic(ctx: FileContext) -> None:
-    if ctx.module.startswith("repro.sim"):
+    # The scheduler/machine layer owns cycle accounting — but the
+    # fast-path engine under repro.sim is cache machinery, not a
+    # scheduler, so it stays covered like any other module.
+    if ctx.module.startswith("repro.sim") and ctx.module != "repro.sim.fastpath":
         return
     for node in ast.walk(ctx.tree):
         targets: List[ast.expr] = []

@@ -14,13 +14,14 @@ from typing import Dict, List, Optional
 from repro.cache.cache_set import CacheSet
 from repro.cache.config import CacheConfig
 from repro.cache.way_predictor import WayPredictor
+from repro.common.compat import DATACLASS_SLOTS
 from repro.common.rng import RngLike, make_rng, spawn_rng
 from repro.common.types import AccessType, MemoryAccess
 from repro.perf.counters import CounterBank
 from repro.replacement import make_policy
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class LookupResult:
     """Outcome of probing a cache level for one access.
 
@@ -36,7 +37,7 @@ class LookupResult:
     way_predictor_miss: bool = False
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class FillResult:
     """Outcome of filling a line after a miss.
 
@@ -72,7 +73,7 @@ class SetAssociativeCache:
         self.sets: List[CacheSet] = []
         for index in range(config.num_sets):
             policy = self._make_policy(config, base_rng, index)
-            self.sets.append(CacheSet(config.ways, policy))
+            self.sets.append(self._make_set(config.ways, policy))
 
     @staticmethod
     def _make_policy(config: CacheConfig, base_rng, index: int):
@@ -81,6 +82,11 @@ class SetAssociativeCache:
                 config.policy, config.ways, rng=spawn_rng(base_rng, f"set{index}")
             )
         return make_policy(config.policy, config.ways)
+
+    @staticmethod
+    def _make_set(ways: int, policy) -> CacheSet:
+        """Set-construction hook; the fast engine substitutes its own."""
+        return CacheSet(ways, policy)
 
     # ------------------------------------------------------------------
     # Lookup path

@@ -39,6 +39,11 @@ class CacheHierarchy:
         invisible_speculation: InvisiSpec-style defense — accesses marked
             ``speculative`` produce correct latencies but make no state
             change anywhere in the hierarchy (Section IX-B).
+        engine: ``"reference"`` (the oracle implementation) or
+            ``"fast"`` (table-driven policies + tag maps; bit-identical,
+            see ``repro.sim.fastpath``).  None consults the process-wide
+            default (``REPRO_ENGINE``, set by the CLI's ``--engine``).
+            A pre-built ``l1_cache`` is used as given either way.
     """
 
     def __init__(
@@ -48,19 +53,28 @@ class CacheHierarchy:
         l1_cache: Optional[SetAssociativeCache] = None,
         prefetcher: Optional[StridePrefetcher] = None,
         invisible_speculation: bool = False,
+        engine: Optional[str] = None,
     ):
+        # Imported lazily: repro.sim.fastpath subclasses the cache layer,
+        # so a top-level import here would be circular.
+        from repro.sim.fastpath import FastSetAssociativeCache, resolve_engine
+
         self.config = config
+        self.engine = resolve_engine(engine)
+        cache_cls = (
+            FastSetAssociativeCache
+            if self.engine == "fast"
+            else SetAssociativeCache
+        )
         base_rng = make_rng(rng)
         predictor = WayPredictor() if config.way_predictor else None
-        self.l1 = l1_cache or SetAssociativeCache(
+        self.l1 = l1_cache or cache_cls(
             config.l1, rng=spawn_rng(base_rng, "l1"), way_predictor=predictor
         )
-        self.l2 = SetAssociativeCache(config.l2, rng=spawn_rng(base_rng, "l2"))
+        self.l2 = cache_cls(config.l2, rng=spawn_rng(base_rng, "l2"))
         self.llc: Optional[SetAssociativeCache] = None
         if config.llc is not None:
-            self.llc = SetAssociativeCache(
-                config.llc, rng=spawn_rng(base_rng, "llc")
-            )
+            self.llc = cache_cls(config.llc, rng=spawn_rng(base_rng, "llc"))
         self.prefetcher = prefetcher
         self.invisible_speculation = invisible_speculation
 

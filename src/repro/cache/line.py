@@ -10,8 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.common.compat import DATACLASS_SLOTS
 
-@dataclass
+
+@dataclass(**DATACLASS_SLOTS)
 class CacheLine:
     """Metadata for one way of one cache set.
 

@@ -1,0 +1,17 @@
+"""Small version-compatibility shims.
+
+The CI matrix reaches back to Python 3.9, where ``@dataclass`` does not
+accept ``slots=True`` yet.  Hot-path dataclasses unpack
+:data:`DATACLASS_SLOTS` so they are slotted wherever the interpreter
+supports it and plain dataclasses elsewhere.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+#: ``{"slots": True}`` on Python >= 3.10, ``{}`` before.
+DATACLASS_SLOTS: Dict[str, Any] = (
+    {"slots": True} if sys.version_info >= (3, 10) else {}
+)

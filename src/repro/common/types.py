@@ -11,6 +11,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.common.compat import DATACLASS_SLOTS
+
 
 class AccessType(enum.Enum):
     """The kind of memory operation a thread performs."""
@@ -37,7 +39,7 @@ class CacheLevel(enum.IntEnum):
     MEMORY = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class MemoryAccess:
     """A single memory operation issued by a simulated thread.
 
@@ -71,7 +73,7 @@ class MemoryAccess:
             raise ValueError(f"address must be non-negative, got {self.address}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class AccessOutcome:
     """The result of pushing one :class:`MemoryAccess` through a hierarchy.
 

@@ -1,4 +1,4 @@
-"""Resilient experiment runner: timeouts, retries, checkpoints.
+"""Resilient experiment runner: timeouts, retries, checkpoints, jobs.
 
 ``python -m repro run all`` regenerates every table and figure in one
 go; a single wedged or crashing experiment should cost that one
@@ -19,18 +19,28 @@ experiment with:
   code reflects the failures;
 * **JSON checkpointing** — each completed result is persisted
   immediately, so an interrupted ``run all`` resumes where it stopped
-  instead of recomputing finished experiments.
+  instead of recomputing finished experiments.  Entries are encoded
+  once per completion and the already-encoded fragments are reused, so
+  checkpointing a batch of n experiments costs O(n) encoding work, not
+  O(n^2);
+* **process parallelism** — ``run_many(..., jobs=N)`` fans independent
+  experiments out over a ``multiprocessing`` pool.  Every experiment
+  derives its seeds from its own registered defaults (rotated
+  deterministically on retry), so results are bit-identical to a
+  sequential run; completions merge into the checkpoint as they
+  arrive, and per-experiment failure isolation is unchanged.
 """
 
 from __future__ import annotations
 
 import inspect
 import json
+import multiprocessing
 import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ExperimentTimeout
 from repro.common.retry import retry_with_backoff
@@ -79,6 +89,44 @@ class RunReport:
         return ", ".join(parts)
 
 
+def _pool_worker(spec: Tuple) -> Tuple[str, str, Dict, float]:
+    """Run one experiment in a pool process; returns a picklable record.
+
+    ``spec`` is ``(experiment_id, timeout, retries, sanitize, fn)``
+    where ``fn`` is None for globally registered experiments (the
+    worker re-imports the registry — cheap under fork, required under
+    spawn) or the pickled callable for custom registries.  Results come
+    back as ``to_dict`` payloads, the same round-trip format the
+    checkpoint uses.
+    """
+    experiment_id, timeout, retries, sanitize, fn = spec
+    if fn is None:
+        import repro.experiments  # noqa: F401 - populates the registry
+
+        registry = None
+    else:
+        registry = {experiment_id: fn}
+    runner = ExperimentRunner(
+        timeout_seconds=timeout,
+        retries=retries,
+        sanitize=sanitize,
+        registry=registry,
+    )
+    start = time.monotonic()
+    try:
+        result = runner.run_one(experiment_id)
+    except Exception as error:  # noqa: BLE001 - isolated per experiment
+        payload = {
+            "experiment_id": experiment_id,
+            "error_type": type(error).__name__,
+            "message": str(error),
+            "attempts": retries + 1,
+            "elapsed_seconds": time.monotonic() - start,
+        }
+        return (experiment_id, "failure", payload, payload["elapsed_seconds"])
+    return (experiment_id, "result", result.to_dict(), time.monotonic() - start)
+
+
 class ExperimentRunner:
     """Runs registered experiments with isolation between them.
 
@@ -120,6 +168,11 @@ class ExperimentRunner:
         self.checkpoint_path = checkpoint_path
         self.registry = EXPERIMENT_REGISTRY if registry is None else registry
         self.sanitize = sanitize
+        # id -> JSON-encoded checkpoint entry; each entry is encoded
+        # exactly once (at load or at completion) and reused verbatim
+        # for every subsequent checkpoint write.
+        self._encoded_entries: Dict[str, str] = {}
+        self._checkpoint_dirty = False
 
     # -- single experiment ---------------------------------------------
 
@@ -130,12 +183,14 @@ class ExperimentRunner:
         :class:`ExperimentTimeout`) once retries are exhausted.
         """
         fn = self.registry[experiment_id]
-        rotate_seed = self._accepts_rng(fn)
+        # Resolve the signature once; retries reuse the parameter
+        # instead of re-running inspect.signature per attempt.
+        rng_parameter = self._rng_parameter(fn)
 
         def attempt(index: int) -> ExperimentResult:
             kwargs = {}
-            if rotate_seed and index > 0:
-                kwargs["rng"] = self._rotated_seed(fn, index)
+            if rng_parameter is not None and index > 0:
+                kwargs["rng"] = self._rotated_seed(rng_parameter, index)
             if self.sanitize:
                 from repro.analysis.sanitize import scoped_sanitize
 
@@ -148,15 +203,15 @@ class ExperimentRunner:
         )
 
     @staticmethod
-    def _accepts_rng(fn: Callable) -> bool:
+    def _rng_parameter(fn: Callable) -> Optional[inspect.Parameter]:
+        """The run function's ``rng`` parameter, if it has one."""
         try:
-            return "rng" in inspect.signature(fn).parameters
+            return inspect.signature(fn).parameters.get("rng")
         except (TypeError, ValueError):
-            return False
+            return None
 
     @staticmethod
-    def _rotated_seed(fn: Callable, attempt: int) -> int:
-        parameter = inspect.signature(fn).parameters["rng"]
+    def _rotated_seed(parameter: inspect.Parameter, attempt: int) -> int:
         base = parameter.default
         if not isinstance(base, int):
             base = 0
@@ -198,17 +253,28 @@ class ExperimentRunner:
         ids: Sequence[str],
         on_result: Optional[Callable[[ExperimentResult, float], None]] = None,
         on_failure: Optional[Callable[[ExperimentFailure], None]] = None,
+        jobs: int = 1,
     ) -> RunReport:
         """Run a batch, isolating failures and checkpointing progress.
 
         Args:
-            ids: Experiment ids, in execution order.
+            ids: Experiment ids, in execution order.  Results and
+                failures are reported in this order regardless of
+                ``jobs``.
             on_result: Callback fired after each completion (restored
                 checkpoint entries fire it with 0.0 elapsed seconds).
             on_failure: Callback fired after each terminal failure.
+            jobs: Number of worker processes.  1 (the default) runs in
+                this process; higher values fan pending experiments out
+                over a ``multiprocessing`` pool.  Seeds are derived from
+                each experiment's own registered defaults, so parallel
+                results are identical to sequential ones.
         """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         report = RunReport()
         completed = self._load_checkpoint()
+        pending: List[str] = []
         for experiment_id in ids:
             if experiment_id in completed:
                 result = completed[experiment_id]
@@ -216,7 +282,27 @@ class ExperimentRunner:
                 report.resumed.append(experiment_id)
                 if on_result is not None:
                     on_result(result, 0.0)
-                continue
+            else:
+                pending.append(experiment_id)
+        if jobs == 1 or len(pending) <= 1:
+            self._run_sequential(
+                pending, report, completed, on_result, on_failure
+            )
+        else:
+            self._run_parallel(
+                pending, report, completed, on_result, on_failure, jobs
+            )
+        return report
+
+    def _run_sequential(
+        self,
+        pending: Sequence[str],
+        report: RunReport,
+        completed: Dict[str, ExperimentResult],
+        on_result,
+        on_failure,
+    ) -> None:
+        for experiment_id in pending:
             start = time.monotonic()
             try:
                 result = self.run_one(experiment_id)
@@ -234,14 +320,67 @@ class ExperimentRunner:
                 continue
             report.results.append(result)
             completed[experiment_id] = result
+            self._record_completion(experiment_id, result)
             self._save_checkpoint(completed)
             if on_result is not None:
                 on_result(result, time.monotonic() - start)
-        return report
+
+    def _run_parallel(
+        self,
+        pending: Sequence[str],
+        report: RunReport,
+        completed: Dict[str, ExperimentResult],
+        on_result,
+        on_failure,
+        jobs: int,
+    ) -> None:
+        """Fan pending experiments out over a process pool.
+
+        Callbacks and checkpoint merges happen in this (parent) process
+        as completions arrive; the final report lists results in
+        submission order so output is stable across schedules.
+        """
+        global_registry = self.registry is EXPERIMENT_REGISTRY
+        specs = [
+            (
+                experiment_id,
+                self.timeout_seconds,
+                self.retries,
+                self.sanitize,
+                None if global_registry else self.registry[experiment_id],
+            )
+            for experiment_id in pending
+        ]
+        results_by_id: Dict[str, ExperimentResult] = {}
+        failures_by_id: Dict[str, ExperimentFailure] = {}
+        with multiprocessing.Pool(processes=min(jobs, len(specs))) as pool:
+            for experiment_id, kind, payload, elapsed in pool.imap_unordered(
+                _pool_worker, specs, chunksize=1
+            ):
+                if kind == "result":
+                    result = ExperimentResult.from_dict(payload)
+                    results_by_id[experiment_id] = result
+                    completed[experiment_id] = result
+                    self._record_completion(experiment_id, result)
+                    self._save_checkpoint(completed)
+                    if on_result is not None:
+                        on_result(result, elapsed)
+                else:
+                    failure = ExperimentFailure(**payload)
+                    failures_by_id[experiment_id] = failure
+                    if on_failure is not None:
+                        on_failure(failure)
+        for experiment_id in pending:
+            if experiment_id in results_by_id:
+                report.results.append(results_by_id[experiment_id])
+            elif experiment_id in failures_by_id:
+                report.failures.append(failures_by_id[experiment_id])
 
     # -- checkpointing --------------------------------------------------
 
     def _load_checkpoint(self) -> Dict[str, ExperimentResult]:
+        self._encoded_entries = {}
+        self._checkpoint_dirty = False
         if self.checkpoint_path is None:
             return {}
         try:
@@ -252,21 +391,39 @@ class ExperimentRunner:
         except (json.JSONDecodeError, OSError):
             # A torn or unreadable checkpoint only costs recomputation.
             return {}
-        return {
-            experiment_id: ExperimentResult.from_dict(entry)
-            for experiment_id, entry in data.get("results", {}).items()
-        }
+        restored = {}
+        for experiment_id, entry in data.get("results", {}).items():
+            restored[experiment_id] = ExperimentResult.from_dict(entry)
+            # Encode restored entries once, straight from the raw dict.
+            self._encoded_entries[experiment_id] = json.dumps(entry)
+        return restored
+
+    def _record_completion(
+        self, experiment_id: str, result: ExperimentResult
+    ) -> None:
+        """Encode one finished result for checkpoint reuse."""
+        if self.checkpoint_path is not None:
+            self._encoded_entries[experiment_id] = json.dumps(result.to_dict())
+            self._checkpoint_dirty = True
 
     def _save_checkpoint(self, completed: Dict[str, ExperimentResult]) -> None:
-        if self.checkpoint_path is None:
+        if self.checkpoint_path is None or not self._checkpoint_dirty:
+            # Nothing new since the last write (e.g. a pure resume):
+            # skip the write entirely.
             return
-        payload = {
-            "results": {
-                experiment_id: result.to_dict()
-                for experiment_id, result in completed.items()
-            }
-        }
+        # Assemble from the per-entry fragments; only brand-new entries
+        # were encoded since the last write, so a batch of n completions
+        # costs O(n) total encoding work instead of O(n^2).
+        fragments = []
+        for experiment_id, result in completed.items():
+            encoded = self._encoded_entries.get(experiment_id)
+            if encoded is None:
+                encoded = json.dumps(result.to_dict())
+                self._encoded_entries[experiment_id] = encoded
+            fragments.append(f"{json.dumps(experiment_id)}: {encoded}")
+        payload = '{"results": {' + ", ".join(fragments) + "}}"
         tmp_path = f"{self.checkpoint_path}.tmp"
         with open(tmp_path, "w") as handle:
-            json.dump(payload, handle, indent=2)
+            handle.write(payload)
         os.replace(tmp_path, self.checkpoint_path)
+        self._checkpoint_dirty = False

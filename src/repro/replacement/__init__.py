@@ -12,6 +12,9 @@ of the policies the paper discusses:
 * :class:`SRRIP` — LLC-style RRIP (reference [34]).
 * :class:`PartitionedPLRU` — DAWG-style per-domain PLRU state
   partitioning (Section IX-B).
+* :class:`TabledPolicy` — table-compiled drop-in for any of the above
+  deterministic policies (the fast-path engine; see
+  ``repro.replacement.tables`` and ``docs/PERFORMANCE.md``).
 
 ``POLICY_REGISTRY`` maps the names used in experiment configs to
 constructors.  The exhaustive state-space analysis lives in
@@ -27,6 +30,7 @@ from repro.replacement.fifo import FIFO
 from repro.replacement.partitioned import PartitionedPLRU
 from repro.replacement.random_policy import RandomPolicy
 from repro.replacement.rrip import SRRIP
+from repro.replacement.tables import TabledPolicy
 from repro.replacement.tree_plru import TreePLRU
 from repro.replacement.true_lru import TrueLRU
 
@@ -38,6 +42,7 @@ POLICY_REGISTRY: Dict[str, Callable[..., ReplacementPolicy]] = {
     "random": RandomPolicy,
     "srrip": SRRIP,
     "partitioned-plru": PartitionedPLRU,
+    "tabled": TabledPolicy,
 }
 
 
@@ -65,6 +70,7 @@ __all__ = [
     "RandomPolicy",
     "ReplacementPolicy",
     "SRRIP",
+    "TabledPolicy",
     "TreePLRU",
     "TrueLRU",
     "access_sequence",

@@ -31,6 +31,11 @@ class ReplacementPolicy(abc.ABC):
     #: Human-readable policy name used in experiment tables.
     name: str = "abstract"
 
+    # Slots on the base let fully-slotted subclasses (the table-driven
+    # fast path) avoid per-instance dicts; subclasses that declare no
+    # ``__slots__`` of their own still get a ``__dict__`` as usual.
+    __slots__ = ("ways",)
+
     def __init__(self, ways: int):
         if ways < 1:
             raise ConfigurationError(f"ways must be >= 1, got {ways}")

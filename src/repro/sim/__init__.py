@@ -6,6 +6,13 @@ co-residency modes (hyper-threaded SMT and OS time-slicing); the
 machine specs encode the paper's three evaluation platforms.
 """
 
+from repro.sim.fastpath import (
+    ENGINES,
+    FastSetAssociativeCache,
+    default_engine,
+    resolve_engine,
+    set_default_engine,
+)
 from repro.sim.machine import Machine
 from repro.sim.ops import Access, Compute, ReadTSC, READ_TSC_COST, SleepUntil
 from repro.sim.scheduler import HyperThreadedScheduler, TimeSlicedScheduler
@@ -27,6 +34,8 @@ __all__ = [
     "AMD_EPYC_7571",
     "Access",
     "Compute",
+    "ENGINES",
+    "FastSetAssociativeCache",
     "HyperThreadedScheduler",
     "INTEL_E3_1245V5",
     "INTEL_E5_2690",
@@ -38,4 +47,7 @@ __all__ = [
     "SimThread",
     "SleepUntil",
     "TimeSlicedScheduler",
+    "default_engine",
+    "resolve_engine",
+    "set_default_engine",
 ]

@@ -65,6 +65,16 @@ class TestNoCycleArithmetic:
         source = "def f(thread):\n    return thread.ready_at\n"
         assert _rule_hits(source, rules=["no-cycle-arithmetic"]) == []
 
+    def test_fastpath_engine_is_not_exempt(self):
+        # The fast engine lives under repro.sim but is cache machinery,
+        # not a scheduler: the blanket repro.sim exemption must not
+        # extend to it.
+        source = "def f(thread):\n    thread.ready_at = 0\n"
+        path = "src/repro/sim/fastpath.py"
+        assert _rule_hits(source, path, rules=["no-cycle-arithmetic"]) == [
+            ("no-cycle-arithmetic", 2)
+        ]
+
 
 class TestPolicyContract:
     def test_flags_partial_policy(self):

@@ -1,0 +1,243 @@
+"""Tests for the process-parallel experiment runner and checkpoint costs.
+
+The experiment functions live at module level so ``multiprocessing``
+can pickle them into pool workers (lambdas, which the sequential tests
+use freely, cannot cross a process boundary).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import ExperimentRunner, _pool_worker
+
+IDS = ["alpha", "beta", "gamma", "delta"]
+
+
+def _result(experiment_id, rows=None):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"test result {experiment_id}",
+        columns=["x"],
+        rows=rows if rows is not None else [[1]],
+    )
+
+
+def run_alpha():
+    return _result("alpha")
+
+
+def run_beta():
+    return _result("beta", rows=[[2]])
+
+
+def run_gamma(rng: int = 42):
+    # Embeds its seed so seed determinism is observable in the result.
+    return _result("gamma", rows=[[rng]])
+
+
+def run_delta():
+    return _result("delta", rows=[[4]])
+
+
+def run_broken():
+    raise RuntimeError("intentional failure")
+
+
+def make_registry():
+    return {
+        "alpha": run_alpha,
+        "beta": run_beta,
+        "gamma": run_gamma,
+        "delta": run_delta,
+    }
+
+
+class TestParallelRunMany:
+    def test_matches_sequential_run(self):
+        sequential = ExperimentRunner(
+            retries=0, registry=make_registry()
+        ).run_many(IDS)
+        parallel = ExperimentRunner(
+            retries=0, registry=make_registry()
+        ).run_many(IDS, jobs=2)
+        assert [r.experiment_id for r in parallel.results] == IDS
+        assert [r.to_dict() for r in parallel.results] == [
+            r.to_dict() for r in sequential.results
+        ]
+        assert parallel.ok
+
+    def test_results_reported_in_submission_order(self):
+        report = ExperimentRunner(
+            retries=0, registry=make_registry()
+        ).run_many(list(reversed(IDS)), jobs=4)
+        assert [r.experiment_id for r in report.results] == list(
+            reversed(IDS)
+        )
+
+    def test_failure_isolation(self):
+        registry = make_registry()
+        registry["broken"] = run_broken
+        ids = ["alpha", "broken", "beta", "gamma"]
+        report = ExperimentRunner(retries=0, registry=registry).run_many(
+            ids, jobs=2
+        )
+        assert not report.ok
+        assert [f.experiment_id for f in report.failures] == ["broken"]
+        assert report.failures[0].error_type == "RuntimeError"
+        assert "intentional failure" in report.failures[0].message
+        assert [r.experiment_id for r in report.results] == [
+            "alpha",
+            "beta",
+            "gamma",
+        ]
+
+    def test_callbacks_fire_per_completion(self):
+        seen_results, seen_failures = [], []
+        registry = make_registry()
+        registry["broken"] = run_broken
+        ExperimentRunner(retries=0, registry=registry).run_many(
+            ["alpha", "beta", "broken"],
+            on_result=lambda result, elapsed: seen_results.append(
+                result.experiment_id
+            ),
+            on_failure=lambda failure: seen_failures.append(
+                failure.experiment_id
+            ),
+            jobs=2,
+        )
+        assert sorted(seen_results) == ["alpha", "beta"]
+        assert seen_failures == ["broken"]
+
+    def test_checkpoint_written_and_resumed(self, tmp_path):
+        checkpoint = tmp_path / "progress.json"
+        first = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        ).run_many(IDS, jobs=2)
+        assert first.ok
+        data = json.loads(checkpoint.read_text())
+        assert sorted(data["results"]) == sorted(IDS)
+        # Second run restores everything: even a registry of bombs never
+        # gets called.
+        bombs = {experiment_id: run_broken for experiment_id in IDS}
+        second = ExperimentRunner(
+            retries=0, checkpoint_path=str(checkpoint), registry=bombs
+        ).run_many(IDS, jobs=2)
+        assert second.ok
+        assert sorted(second.resumed) == sorted(IDS)
+
+    def test_seed_determinism_across_jobs(self):
+        for jobs in (1, 3):
+            report = ExperimentRunner(
+                retries=0, registry=make_registry()
+            ).run_many(IDS, jobs=jobs)
+            gamma = next(
+                r for r in report.results if r.experiment_id == "gamma"
+            )
+            assert gamma.rows == [[42]]
+
+    def test_jobs_must_be_positive(self):
+        runner = ExperimentRunner(registry=make_registry())
+        with pytest.raises(ValueError):
+            runner.run_many(IDS, jobs=0)
+
+    def test_single_pending_experiment_stays_in_process(self):
+        # jobs > 1 with one pending id takes the sequential path — no
+        # pool overhead, and in-process registries with lambdas work.
+        runner = ExperimentRunner(
+            retries=0, registry={"solo": lambda: _result("solo")}
+        )
+        report = runner.run_many(["solo"], jobs=8)
+        assert [r.experiment_id for r in report.results] == ["solo"]
+
+
+class TestPoolWorker:
+    def test_result_payload_round_trips(self):
+        experiment_id, kind, payload, elapsed = _pool_worker(
+            ("beta", None, 0, False, run_beta)
+        )
+        assert (experiment_id, kind) == ("beta", "result")
+        assert ExperimentResult.from_dict(payload).rows == [[2]]
+        assert elapsed >= 0.0
+
+    def test_failure_payload_is_structured(self):
+        experiment_id, kind, payload, _ = _pool_worker(
+            ("broken", None, 1, False, run_broken)
+        )
+        assert (experiment_id, kind) == ("broken", "failure")
+        assert payload["error_type"] == "RuntimeError"
+        assert payload["attempts"] == 2
+
+
+class TestCheckpointCosts:
+    def test_entries_encoded_once_per_completion(self, monkeypatch, tmp_path):
+        import repro.experiments.runner as runner_module
+
+        calls = []
+        real_dumps = json.dumps
+
+        def counting_dumps(obj, *args, **kwargs):
+            calls.append(obj)
+            return real_dumps(obj, *args, **kwargs)
+
+        monkeypatch.setattr(runner_module.json, "dumps", counting_dumps)
+        runner = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(tmp_path / "progress.json"),
+            registry=make_registry(),
+        )
+        runner.run_many(IDS)
+        # One encode per result body plus one per id key fragment —
+        # linear in completions, not quadratic (the old code re-encoded
+        # every prior result on every save: 1+2+3+4 = 10 bodies).
+        bodies = [c for c in calls if isinstance(c, dict)]
+        assert len(bodies) == len(IDS)
+
+    def test_pure_resume_skips_the_write(self, tmp_path):
+        checkpoint = tmp_path / "progress.json"
+        ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        ).run_many(IDS)
+        stamp = checkpoint.stat().st_mtime_ns
+        resumed = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        )
+        report = resumed.run_many(IDS)
+        assert sorted(report.resumed) == sorted(IDS)
+        assert not resumed._checkpoint_dirty
+        assert checkpoint.stat().st_mtime_ns == stamp
+
+    def test_checkpoint_file_is_valid_json(self, tmp_path):
+        checkpoint = tmp_path / "progress.json"
+        ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        ).run_many(IDS)
+        data = json.loads(checkpoint.read_text())
+        restored = {
+            experiment_id: ExperimentResult.from_dict(entry)
+            for experiment_id, entry in data["results"].items()
+        }
+        assert restored["gamma"].rows == [[42]]
+
+
+class TestSignatureResolution:
+    def test_rng_parameter_resolved_once(self):
+        parameter = ExperimentRunner._rng_parameter(run_gamma)
+        assert parameter is not None
+        assert ExperimentRunner._rotated_seed(parameter, 1) == 1042
+        assert ExperimentRunner._rotated_seed(parameter, 2) == 2042
+
+    def test_rng_parameter_absent(self):
+        assert ExperimentRunner._rng_parameter(run_alpha) is None
+
+    def test_uninspectable_function_is_tolerated(self):
+        assert ExperimentRunner._rng_parameter(dict.fromkeys) in (None,)

@@ -1,0 +1,364 @@
+"""Differential tests: the fast engine against the reference oracle.
+
+The fast engine (``repro.sim.fastpath`` + ``repro.replacement.tables``)
+claims bit-identical behaviour to the reference engine.  These tests
+hold it to that claim at three levels:
+
+* policy level — a :class:`TabledPolicy` driven by a random operation
+  stream must track the reference policy snapshot-for-snapshot;
+* cache level — reference and fast caches fed identical access traces
+  must agree on every hit/miss, every evicted address, every counter,
+  and every final set snapshot;
+* machine level — a full covert-channel protocol run must decode the
+  same bits with the same latencies under both engines, including with
+  the PR 2 runtime sanitizer armed on the fast engine.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.proxies import sanitize_cache
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessType, MemoryAccess
+from repro.replacement.tables import (
+    TABLEABLE_POLICIES,
+    PolicyTables,
+    TabledPolicy,
+    clear_table_cache,
+    compile_tables,
+    estimated_state_count,
+)
+from repro.sim.fastpath import (
+    ENGINE_ENV,
+    FastSetAssociativeCache,
+    default_engine,
+    resolve_engine,
+    set_default_engine,
+)
+
+POLICIES = sorted(TABLEABLE_POLICIES)
+WAYS = [4, 8, 16]
+
+
+def reference_policy(name, ways):
+    return TABLEABLE_POLICIES[name](ways)
+
+
+@pytest.mark.parametrize("ways", WAYS)
+@pytest.mark.parametrize("name", POLICIES)
+class TestPolicyEquivalence:
+    """TabledPolicy vs reference policy on identical operation streams."""
+
+    def test_random_op_stream_matches_reference(self, name, ways):
+        ref = reference_policy(name, ways)
+        fast = TabledPolicy(ways, base=name)
+        rng = random.Random(0xC0FFEE + ways)
+        for step in range(600):
+            op = rng.randrange(4)
+            if op == 0:
+                way = rng.randrange(ways)
+                ref.touch(way)
+                fast.touch(way)
+            elif op == 1:
+                way = rng.randrange(ways)
+                ref_fill = getattr(ref, "on_fill", ref.touch)
+                ref_fill(way)
+                fast.on_fill(way)
+            elif op == 2:
+                assert ref.victim(None) == fast.victim(None), (
+                    f"victim diverged at step {step}"
+                )
+            else:
+                way = rng.randrange(ways)
+                ref.invalidate(way)
+                fast.invalidate(way)
+            assert ref.state_snapshot() == fast.state_snapshot(), (
+                f"state diverged at step {step} (op {op})"
+            )
+
+    def test_victim_sequence_from_power_on(self, name, ways):
+        ref = reference_policy(name, ways)
+        fast = TabledPolicy(ways, base=name)
+        for way in range(ways):
+            ref_fill = getattr(ref, "on_fill", ref.touch)
+            ref_fill(way)
+            fast.on_fill(way)
+        victims_ref = [ref.victim(None) for _ in range(2 * ways)]
+        victims_fast = [fast.victim(None) for _ in range(2 * ways)]
+        assert victims_ref == victims_fast
+
+    def test_valid_mask_prefers_invalid_way(self, name, ways):
+        ref = reference_policy(name, ways)
+        fast = TabledPolicy(ways, base=name)
+        valid = [True] * ways
+        valid[2] = False
+        assert ref.victim(valid) == fast.victim(valid) == 2
+        assert ref.state_snapshot() == fast.state_snapshot()
+
+    def test_snapshot_round_trips_through_either_engine(self, name, ways):
+        ref = reference_policy(name, ways)
+        fast = TabledPolicy(ways, base=name)
+        for way in (1, 0, min(3, ways - 1)):
+            ref.touch(way)
+        snapshot = ref.state_snapshot()
+        fast.state_restore(snapshot)
+        assert fast.state_snapshot() == snapshot
+        assert fast.victim(None) == ref.victim(None)
+
+    def test_reset_restores_power_on_state(self, name, ways):
+        ref = reference_policy(name, ways)
+        fast = TabledPolicy(ways, base=name)
+        for way in range(ways):
+            fast.touch(way)
+        fast.reset()
+        assert fast.state_snapshot() == ref.state_snapshot()
+
+    def test_metadata_mirrors_reference(self, name, ways):
+        ref = reference_policy(name, ways)
+        fast = TabledPolicy(ways, base=name)
+        assert fast.name == ref.name
+        assert fast.state_bits == ref.state_bits
+        assert fast.table_base_type is type(ref)
+
+
+def make_pair(policy, ways, sets=8, line_size=64):
+    config = CacheConfig(
+        name="L1D",
+        size=sets * ways * line_size,
+        ways=ways,
+        line_size=line_size,
+        policy=policy,
+    )
+    return (
+        SetAssociativeCache(config, rng=7),
+        FastSetAssociativeCache(config, rng=7),
+    )
+
+
+def random_trace(config_sets, ways, seed, length=4000):
+    """Address stream with enough reuse to exercise hits and evictions."""
+    rng = random.Random(seed)
+    lines = config_sets * (ways + 3)
+    trace = []
+    for _ in range(length):
+        address = rng.randrange(lines) * 64
+        access_type = (
+            AccessType.STORE if rng.random() < 0.25 else AccessType.LOAD
+        )
+        trace.append(
+            MemoryAccess(
+                address=address,
+                access_type=access_type,
+                thread_id=rng.randrange(2),
+            )
+        )
+    return trace
+
+
+def drive(cache, trace):
+    """Reference control flow: lookup, fill on miss; collect observables."""
+    events = []
+    for access in trace:
+        result = cache.lookup(access)
+        if result.hit:
+            events.append(("hit", result.way))
+        else:
+            fill = cache.fill(access)
+            events.append(("miss", fill.evicted_address))
+    return events
+
+
+@pytest.mark.parametrize("ways", WAYS)
+@pytest.mark.parametrize("policy", POLICIES)
+class TestCacheEquivalence:
+    """Whole-cache differential runs over identical access traces."""
+
+    def test_trace_observables_match(self, policy, ways):
+        ref, fast = make_pair(policy, ways)
+        trace = random_trace(ref.config.num_sets, ways, seed=ways * 31)
+        assert drive(ref, trace) == drive(fast, trace)
+
+    def test_final_state_matches(self, policy, ways):
+        ref, fast = make_pair(policy, ways)
+        trace = random_trace(ref.config.num_sets, ways, seed=ways * 87)
+        drive(ref, trace)
+        drive(fast, trace)
+        for ref_set, fast_set in zip(ref.sets, fast.sets):
+            assert ref_set.snapshot() == fast_set.snapshot()
+        assert ref.counters.references == fast.counters.references
+        assert ref.counters.misses == fast.counters.misses
+
+    def test_flush_keeps_engines_aligned(self, policy, ways):
+        ref, fast = make_pair(policy, ways)
+        trace = random_trace(ref.config.num_sets, ways, seed=5, length=600)
+        rng = random.Random(99)
+        for access in trace:
+            for cache in (ref, fast):
+                if not cache.lookup(access).hit:
+                    cache.fill(access)
+            if rng.random() < 0.1:
+                target = rng.randrange(64) * 64
+                assert ref.flush(target) == fast.flush(target)
+        for ref_set, fast_set in zip(ref.sets, fast.sets):
+            assert ref_set.snapshot() == fast_set.snapshot()
+
+    def test_probe_is_side_effect_free_and_equivalent(self, policy, ways):
+        ref, fast = make_pair(policy, ways)
+        trace = random_trace(ref.config.num_sets, ways, seed=3, length=300)
+        drive(ref, trace)
+        drive(fast, trace)
+        for address in range(0, 64 * 64, 64):
+            assert ref.probe(address) == fast.probe(address)
+        for ref_set, fast_set in zip(ref.sets, fast.sets):
+            assert ref_set.snapshot() == fast_set.snapshot()
+
+
+class TestSanitizedFastEngine:
+    """The PR 2 runtime sanitizer must hold on the fast engine too."""
+
+    def test_sanitized_fast_cache_runs_clean_and_identical(self):
+        for policy in POLICIES:
+            ref, fast = make_pair(policy, ways=8)
+            sanitize_cache(fast)
+            trace = random_trace(ref.config.num_sets, 8, seed=11, length=1500)
+            assert drive(ref, trace) == drive(fast, trace)
+            for ref_set, fast_set in zip(ref.sets, fast.sets):
+                assert ref_set.snapshot() == fast_set.snapshot()
+
+
+class TestMachineEquivalence:
+    """Full protocol runs decode identically under both engines."""
+
+    @staticmethod
+    def _run_protocol(engine, sanitize=False):
+        from repro.channels import (
+            CovertChannelProtocol,
+            ProtocolConfig,
+            SharedMemoryLRUChannel,
+            sample_bits,
+        )
+        from repro.sim import INTEL_E5_2690, Machine
+
+        machine = Machine(INTEL_E5_2690, rng=2024, engine=engine)
+        if sanitize:
+            from repro.analysis.sanitize import sanitize_machine
+
+            sanitize_machine(machine)
+        channel = SharedMemoryLRUChannel.build(
+            machine.spec.hierarchy.l1, target_set=1, d=8
+        )
+        protocol = CovertChannelProtocol(
+            machine, channel, ProtocolConfig(ts=3000, tr=600)
+        )
+        run = protocol.run_hyper_threaded([1, 0, 1, 1])
+        latencies = [
+            (o.latency, o.timestamp) for o in run.observations
+        ]
+        return sample_bits(run), latencies
+
+    def test_protocol_bit_identical(self):
+        assert self._run_protocol("reference") == self._run_protocol("fast")
+
+    def test_protocol_bit_identical_under_sanitizer(self):
+        reference = self._run_protocol("reference")
+        assert self._run_protocol("fast", sanitize=True) == reference
+
+
+class TestTableCompilation:
+    """Eager/lazy compilation strategy and the shared-table memo."""
+
+    def test_small_spaces_compile_eagerly(self):
+        tables = PolicyTables("tree-plru", 8)
+        assert tables.eager
+        assert tables.state_count == estimated_state_count("tree-plru", 8)
+        # Eager closure materialises every transition up front.
+        assert tables.transition_count() == 2 * 8 * tables.state_count
+
+    def test_large_spaces_compile_lazily(self):
+        tables = PolicyTables("lru", 16)
+        assert not tables.eager
+        assert tables.state_count == 1  # just the power-on state
+        policy = TabledPolicy(16, base="lru", tables=tables)
+        for way in range(16):
+            policy.touch(way)
+        # Visited states only — nowhere near 16!.
+        assert 1 < tables.state_count <= 17
+
+    def test_estimates(self):
+        assert estimated_state_count("lru", 4) == 24
+        assert estimated_state_count("fifo", 8) == 8
+        assert estimated_state_count("bit-plru", 8) == 256
+        assert estimated_state_count("srrip", 4, rrpv_bits=2) == 256
+        assert estimated_state_count("random", 4) is None
+
+    def test_compile_tables_memoises_per_shape(self):
+        clear_table_cache()
+        try:
+            a = compile_tables("fifo", 4)
+            b = compile_tables("fifo", 4)
+            c = compile_tables("fifo", 8)
+            assert a is b
+            assert a is not c
+        finally:
+            clear_table_cache()
+
+    def test_untableable_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicyTables("random", 4)
+
+    def test_mismatched_shared_tables_rejected(self):
+        tables = compile_tables("fifo", 4)
+        with pytest.raises(ConfigurationError):
+            TabledPolicy(8, base="fifo", tables=tables)
+
+    def test_untableable_cache_policy_falls_back_to_reference(self):
+        config = CacheConfig(
+            name="L1D", size=2048, ways=4, line_size=64, policy="random"
+        )
+        cache = FastSetAssociativeCache(config, rng=1)
+        assert not isinstance(cache.sets[0].policy, TabledPolicy)
+        ref = SetAssociativeCache(config, rng=1)
+        trace = random_trace(ref.config.num_sets, 4, seed=21, length=800)
+        assert drive(ref, trace) == drive(cache, trace)
+
+
+class TestEngineSelection:
+    """Engine resolution helpers and the REPRO_ENGINE environment knob."""
+
+    def test_resolve_defaults_to_reference(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert default_engine() == "reference"
+        assert resolve_engine(None) == "reference"
+        assert resolve_engine("fast") == "fast"
+
+    def test_env_var_sets_process_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "fast")
+        assert resolve_engine(None) == "fast"
+
+    def test_set_default_engine_round_trip(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        set_default_engine("fast")
+        assert default_engine() == "fast"
+        set_default_engine(None)
+        assert default_engine() == "reference"
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        with pytest.raises(ConfigurationError):
+            set_default_engine("warp")
+        with pytest.raises(ConfigurationError):
+            resolve_engine("warp")
+
+    def test_hierarchy_engine_selection(self):
+        from repro.cache.config import HierarchyConfig
+        from repro.cache.hierarchy import CacheHierarchy
+
+        fast = CacheHierarchy(HierarchyConfig(), rng=1, engine="fast")
+        ref = CacheHierarchy(HierarchyConfig(), rng=1, engine="reference")
+        assert fast.engine == "fast"
+        assert isinstance(fast.l1, FastSetAssociativeCache)
+        assert ref.engine == "reference"
+        assert not isinstance(ref.l1, FastSetAssociativeCache)

@@ -1,0 +1,89 @@
+"""Observability overhead benchmarks: off vs metrics vs full tracing.
+
+Regenerate the committed evidence with:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py \
+        --benchmark-only --benchmark-json=benchmarks/BENCH_obs.json
+
+The benchmarked workload is a full covert-channel transfer (machine +
+scheduler + hierarchy + protocol + decoder) — every instrumented layer
+on its real hot path.  Three modes:
+
+* ``off`` — no session active; every instrument site is one ``is None``
+  check.  This is the default mode of the whole test/benchmark suite,
+  so the committed ``BENCH_engine.json`` run-all baselines (recorded
+  before the instrumentation existed) double as the off-mode regression
+  guard: the <2% disabled-overhead budget is policed by
+  ``scripts_check_bench_regression.py`` against those numbers.
+* ``metrics`` — a session with ``trace_depth=0``: counters, gauges and
+  histograms are live, the trace bus is not.
+* ``traced`` — metrics plus the ring-buffered trace bus (the
+  ``--trace`` configuration).
+
+Every mode must decode the same bits — observability reads the run and
+never steers it — which each benchmark asserts before timing.
+"""
+
+from repro.channels import (
+    CovertChannelProtocol,
+    ProtocolConfig,
+    SharedMemoryLRUChannel,
+    runlength_decode,
+    sample_bits,
+)
+from repro.obs.session import ObsSession, observe
+from repro.sim import INTEL_E5_2690, Machine
+
+#: Transfers per timed round — one transfer is ~60k simulated ops.
+TRANSFERS = 3
+
+MESSAGE = [1, 0, 1, 1, 0, 0, 1, 0] * 4
+
+
+def transfer():
+    machine = Machine(INTEL_E5_2690, rng=2024)
+    channel = SharedMemoryLRUChannel.build(
+        machine.spec.hierarchy.l1, target_set=1, d=8
+    )
+    protocol = CovertChannelProtocol(
+        machine, channel, ProtocolConfig(ts=6000, tr=600)
+    )
+    run = protocol.run_hyper_threaded(MESSAGE)
+    return runlength_decode(sample_bits(run), 10)[: len(MESSAGE)]
+
+
+def run_off():
+    return [transfer() for _ in range(TRANSFERS)]
+
+
+def run_metrics():
+    with observe(ObsSession(trace_depth=0)):
+        return [transfer() for _ in range(TRANSFERS)]
+
+
+def run_traced():
+    with observe(ObsSession()):
+        return [transfer() for _ in range(TRANSFERS)]
+
+
+def bench_mode(benchmark, mode, fn):
+    assert fn() == run_off()  # observability must not change results
+    benchmark.pedantic(fn, rounds=5, iterations=1)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["transfers_per_round"] = TRANSFERS
+    benchmark.extra_info["bits_per_transfer"] = len(MESSAGE)
+
+
+def test_bench_obs_off(benchmark):
+    """Instrumented hot paths with no session (the default)."""
+    bench_mode(benchmark, "off", run_off)
+
+
+def test_bench_obs_metrics(benchmark):
+    """Metrics-only session (``observe=True``, no trace)."""
+    bench_mode(benchmark, "metrics", run_metrics)
+
+
+def test_bench_obs_traced(benchmark):
+    """Full session: metrics + ring-buffered trace bus (``--trace``)."""
+    bench_mode(benchmark, "traced", run_traced)

@@ -9,7 +9,14 @@ Subcommands:
   experiment is reported and the batch continues, with the exit code
   reflecting the failures.  ``--timeout``, ``--retries`` and
   ``--checkpoint`` tune the harness; ``--jobs N`` fans independent
-  experiments out over N worker processes.
+  experiments out over N worker processes; ``--trace PATH`` writes the
+  run as a JSONL artifact (manifest + results + metrics + trace events,
+  see ``docs/OBSERVABILITY.md``).
+* ``report <run.jsonl>`` — render a ``--trace`` artifact back into
+  markdown; its experiment blocks are byte-identical to EXPERIMENTS.md
+  blocks for the same results.  ``report --catalog`` prints the metrics
+  catalogue; ``--update-doc``/``--check-doc`` maintain the generated
+  table in ``docs/OBSERVABILITY.md``.
 * ``demo`` — the quickstart byte transfer, for a 10-second sanity check.
 
 Both ``run`` and ``demo`` accept ``--sanitize``: every machine built
@@ -49,6 +56,7 @@ def _cmd_run(
     sanitize: bool = False,
     jobs: int = 1,
     engine: str = None,
+    trace: str = None,
 ) -> int:
     if engine is not None:
         from repro.sim.fastpath import set_default_engine
@@ -81,13 +89,62 @@ def _cmd_run(
         retries=retries,
         checkpoint_path=checkpoint,
         sanitize=sanitize,
+        trace_path=trace,
     )
     report = runner.run_many(
         chosen, on_result=show_result, on_failure=show_failure, jobs=jobs
     )
+    written = runner.write_trace(report, chosen, jobs=jobs)
     print()
     print(f"summary: {report.summary()}")
+    if written is not None:
+        print(f"trace written to {written}")
     return 0 if report.ok else 1
+
+
+def _cmd_report(
+    path: str = None,
+    catalog: bool = False,
+    update_doc: str = None,
+    check_doc: str = None,
+) -> int:
+    from repro.obs.report import (
+        read_records,
+        render_report,
+        update_catalog_doc,
+    )
+
+    if catalog:
+        from repro.obs.catalog import catalog_markdown
+
+        print(catalog_markdown())
+        return 0
+    if update_doc is not None or check_doc is not None:
+        doc = update_doc if update_doc is not None else check_doc
+        current = update_catalog_doc(doc, check=check_doc is not None)
+        if check_doc is not None:
+            if current:
+                print(f"{doc}: metrics catalogue is current")
+                return 0
+            print(
+                f"{doc}: metrics catalogue is stale; run "
+                "`python -m repro report --update-doc` to regenerate",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{doc}: {'already current' if current else 'updated'}")
+        return 0
+    if path is None:
+        print("report: need a trace file (or --catalog)", file=sys.stderr)
+        return 2
+    from repro.common.errors import ObservabilityError
+
+    try:
+        print(render_report(read_records(path)))
+    except (OSError, ObservabilityError) as error:
+        print(f"report: {error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_demo(sanitize: bool = False, engine: str = None) -> int:
@@ -124,7 +181,8 @@ def _cmd_demo(sanitize: bool = False, engine: str = None) -> int:
     return 0 if decoded == message else 1
 
 
-def main(argv: list = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed so docs tests can audit flags)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -181,6 +239,42 @@ def main(argv: list = None) -> int:
         "tables, bit-identical to 'reference' (default: reference, or "
         "the REPRO_ENGINE environment variable)",
     )
+    run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the run as a JSONL observability artifact: run "
+        "manifest, results, metrics snapshots, and ring-buffered trace "
+        "events (render it with `python -m repro report PATH`)",
+    )
+    report_parser = sub.add_parser(
+        "report", help="render a --trace artifact as markdown"
+    )
+    report_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="JSONL trace file written by `run --trace`",
+    )
+    report_parser.add_argument(
+        "--catalog",
+        action="store_true",
+        help="print the metrics catalogue table instead of a report",
+    )
+    report_parser.add_argument(
+        "--update-doc",
+        default=None,
+        metavar="PATH",
+        help="regenerate the metrics-catalogue section of the given "
+        "doc (docs/OBSERVABILITY.md) in place",
+    )
+    report_parser.add_argument(
+        "--check-doc",
+        default=None,
+        metavar="PATH",
+        help="exit non-zero if the doc's generated catalogue section "
+        "is stale (the CI docs-drift gate)",
+    )
     demo_parser = sub.add_parser(
         "demo", help="10-second covert-channel sanity check"
     )
@@ -195,8 +289,11 @@ def main(argv: list = None) -> int:
         default=None,
         help="simulation engine for the demo machine",
     )
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv: list = None) -> int:
+    args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -208,6 +305,14 @@ def main(argv: list = None) -> int:
             sanitize=args.sanitize,
             jobs=args.jobs,
             engine=args.engine,
+            trace=args.trace,
+        )
+    if args.command == "report":
+        return _cmd_report(
+            path=args.path,
+            catalog=args.catalog,
+            update_doc=args.update_doc,
+            check_doc=args.check_doc,
         )
     return _cmd_demo(sanitize=args.sanitize, engine=args.engine)
 

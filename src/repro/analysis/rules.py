@@ -42,6 +42,13 @@ Each rule enforces one repo-wide structural invariant:
     readers (and the injector's runtime validation) know which of the
     three hooks the model uses.
 
+``metric-registered``
+    Every metric name emitted as a string literal
+    (``.counter("...")``, ``.gauge("...")``, ``.histogram("...")``)
+    is declared in ``repro.obs.catalog.METRIC_CATALOG``.  The registry
+    enforces this at runtime too, but only on code paths a test
+    happens to execute; the lint rule rejects the typo at review time.
+
 Rules register through :func:`rule`; external code can add more the
 same way before calling the engine.
 """
@@ -53,6 +60,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.lint import FileContext, Project
+from repro.obs.catalog import METRIC_CATALOG
 
 #: The three runtime hooks a fault model may use (mirrors
 #: ``repro.faults.base.FaultModel``).
@@ -364,6 +372,46 @@ def check_fault_declares_injection(ctx: FileContext) -> None:
                 hint="add `injection_points = (...)` with values from "
                 f"{sorted(FAULT_INJECTION_POINTS)}",
             )
+
+
+#: Registry factory methods whose first argument is a metric name.
+_METRIC_FACTORIES = ("counter", "gauge", "histogram")
+
+
+@rule(
+    "metric-registered",
+    description="metric name emitted that is absent from METRIC_CATALOG",
+)
+def check_metric_registered(ctx: FileContext) -> None:
+    # The catalogue module itself is the declaration site, and the
+    # registry's own tests exercise rejection paths with bogus names.
+    if ctx.module == "repro.obs.catalog":
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in _METRIC_FACTORIES:
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if not isinstance(first, ast.Constant) or not isinstance(
+            first.value, str
+        ):
+            continue
+        name = first.value
+        if name in METRIC_CATALOG:
+            continue
+        ctx.report(
+            "metric-registered",
+            node,
+            f"metric {name!r} is not declared in METRIC_CATALOG",
+            hint="add a MetricSpec to repro/obs/catalog.py (the registry "
+            "would reject this name at runtime anyway)",
+        )
 
 
 # ----------------------------------------------------------------------

@@ -4,12 +4,20 @@ When a proxy detects a corrupted state it raises
 :class:`~repro.common.errors.InvariantViolation` carrying the last few
 operations that led up to the corruption — the difference between "a
 Tree-PLRU bit left {0,1}" and a reproducible bug report.
+
+When an observability session with tracing is active
+(:mod:`repro.obs.session`), every recorded event is also mirrored onto
+the session's trace bus as a ``sanitizer.access`` event, so a
+``--trace`` artifact interleaves the sanitizer's view with the
+channel-level records.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import Deque, Tuple
+
+from repro.obs.session import active as obs_active
 
 
 class AccessTrace:
@@ -26,9 +34,13 @@ class AccessTrace:
     def __init__(self, depth: int = 32):
         self._events: Deque[str] = deque(maxlen=depth)
         self.depth = depth
+        session = obs_active()
+        self._bus = session.bus if session is not None else None
 
     def record(self, event: str) -> None:
         self._events.append(event)
+        if self._bus is not None:
+            self._bus.event("sanitizer.access", detail=event)
 
     def tail(self) -> Tuple[str, ...]:
         """The retained events, oldest first."""

@@ -20,6 +20,8 @@ from repro.cache.prefetcher import StridePrefetcher
 from repro.cache.way_predictor import WayPredictor
 from repro.common.rng import RngLike, make_rng, spawn_rng
 from repro.common.types import AccessOutcome, AccessType, CacheLevel, MemoryAccess
+from repro.obs.instruments import for_hierarchy
+from repro.obs.session import active as obs_active
 
 #: Thread id under which prefetcher-initiated fills are accounted, so
 #: they never contaminate a victim's or attacker's own counters.
@@ -77,6 +79,9 @@ class CacheHierarchy:
             self.llc = cache_cls(config.llc, rng=spawn_rng(base_rng, "llc"))
         self.prefetcher = prefetcher
         self.invisible_speculation = invisible_speculation
+        # Observability handles, bound once at construction; None when no
+        # session is active, so the access path pays one `is None` check.
+        self._obs = for_hierarchy(obs_active(), config)
 
     # ------------------------------------------------------------------
     # The access path
@@ -95,17 +100,22 @@ class CacheHierarchy:
         return outcome
 
     def _demand_access(self, access: MemoryAccess, count: bool) -> AccessOutcome:
+        obs = self._obs
         l1_result = self.l1.lookup(access, count=count)
         if l1_result.hit:
             if l1_result.way_predictor_miss:
                 # Data was resident but the utag mispredicted: the load
                 # replays through the slow path and observes ~L2 latency.
+                if obs is not None:
+                    obs.record_l1_hit(self.config.l2.hit_latency, count)
                 return AccessOutcome(
                     access=access,
                     hit_level=CacheLevel.L1,
                     latency=self.config.l2.hit_latency,
                     was_way_predictor_miss=True,
                 )
+            if obs is not None:
+                obs.record_l1_hit(self.config.l1.hit_latency, count)
             return AccessOutcome(
                 access=access,
                 hit_level=CacheLevel.L1,
@@ -115,6 +125,10 @@ class CacheHierarchy:
         l2_result = self.l2.lookup(access, count=count)
         if l2_result.hit:
             fill = self.l1.fill(access)
+            if obs is not None:
+                obs.record_l2_hit(
+                    self.config.l2.hit_latency, count, fill.evicted_address
+                )
             return AccessOutcome(
                 access=access,
                 hit_level=CacheLevel.L2,
@@ -125,18 +139,36 @@ class CacheHierarchy:
         if self.llc is not None:
             llc_result = self.llc.lookup(access, count=count)
             if llc_result.hit:
-                self.l2.fill(access)
+                l2_fill = self.l2.fill(access)
                 fill = self.l1.fill(access)
+                if obs is not None:
+                    obs.record_llc_hit(
+                        self.config.llc.hit_latency,
+                        count,
+                        fill.evicted_address,
+                        l2_fill.evicted_address,
+                    )
                 return AccessOutcome(
                     access=access,
                     hit_level=CacheLevel.LLC,
                     latency=self.config.llc.hit_latency,
                     evicted_address=fill.evicted_address,
                 )
-            self.llc.fill(access)
+            llc_fill = self.llc.fill(access)
+        else:
+            llc_fill = None
 
-        self.l2.fill(access)
+        l2_fill = self.l2.fill(access)
         fill = self.l1.fill(access)
+        if obs is not None:
+            obs.record_memory_fetch(
+                self.config.memory_latency,
+                count,
+                fill.evicted_address,
+                l2_fill.evicted_address,
+                None if llc_fill is None else llc_fill.evicted_address,
+                had_llc=self.llc is not None,
+            )
         return AccessOutcome(
             access=access,
             hit_level=CacheLevel.MEMORY,
@@ -162,6 +194,8 @@ class CacheHierarchy:
         self.l2.flush(access.address)
         if self.llc is not None:
             self.llc.flush(access.address)
+        if self._obs is not None:
+            self._obs.record_flush()
         return AccessOutcome(
             access=access,
             hit_level=CacheLevel.MEMORY,
@@ -170,6 +204,7 @@ class CacheHierarchy:
 
     def _run_prefetcher(self, access: MemoryAccess) -> None:
         """Train on the demand stream; insert predicted lines into L1/L2."""
+        obs = self._obs
         targets = self.prefetcher.observe(access.thread_id, access.address)
         for target in targets:
             prefetch = MemoryAccess(
@@ -182,10 +217,16 @@ class CacheHierarchy:
             if self.l1.probe(target):
                 continue
             if self.llc is not None and not self.llc.probe(target):
-                self.llc.fill(prefetch)
+                llc_fill = self.llc.fill(prefetch)
+                if obs is not None:
+                    obs.fill_llc(llc_fill.evicted_address)
             if not self.l2.probe(target):
-                self.l2.fill(prefetch)
-            self.l1.fill(prefetch)
+                l2_fill = self.l2.fill(prefetch)
+                if obs is not None:
+                    obs.fill_l2(l2_fill.evicted_address)
+            l1_fill = self.l1.fill(prefetch)
+            if obs is not None:
+                obs.fill_l1(l1_fill.evicted_address)
 
     # ------------------------------------------------------------------
     # Conveniences

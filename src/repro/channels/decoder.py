@@ -27,6 +27,8 @@ from repro.common.stats import (
     threshold_classify,
 )
 from repro.common.types import Observation
+from repro.obs.instruments import count_decoded_bits
+from repro.obs.session import active as obs_active
 
 
 def sample_bits(run: ChannelRun) -> List[int]:
@@ -101,6 +103,7 @@ def runlength_decode(
         run_length = 1
     if run_value is not None:
         message.extend([run_value] * max(1, round(run_length / samples_per_bit)))
+    count_decoded_bits(obs_active(), len(message))
     return message
 
 
@@ -135,6 +138,7 @@ def window_decode(
         if not votes:
             continue  # lost bit
         decoded.append(1 if sum(votes) * 2 >= len(votes) else 0)
+    count_decoded_bits(obs_active(), len(decoded))
     return decoded
 
 
@@ -194,6 +198,7 @@ def moving_average_decode(
         high = mean(chunk) > threshold
         bit_if_high = 0 if hit_means_one else 1
         decoded.append(bit_if_high if high else 1 - bit_if_high)
+    count_decoded_bits(obs_active(), len(decoded))
     return decoded
 
 

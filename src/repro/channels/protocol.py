@@ -20,6 +20,8 @@ from repro.common.errors import ProtocolError
 from repro.common.rng import make_rng
 from repro.common.types import Observation
 from repro.faults.interrupts import InterruptBurstFault
+from repro.obs.instruments import for_protocol
+from repro.obs.session import active as obs_active
 from repro.sim.machine import Machine
 from repro.sim.ops import Access, Compute, ReadTSC, SleepUntil
 from repro.sim.thread import SimThread
@@ -139,6 +141,8 @@ class CovertChannelProtocol:
         self.machine = machine
         self.channel = channel
         self.config = config
+        self._session = obs_active()
+        self._obs = for_protocol(self._session)
         if config.noise_events_per_mcycle > 0:
             # Section VIII environment noise, injected as a scheduler-
             # level fault model rather than inside the receiver loop so
@@ -161,12 +165,17 @@ class CovertChannelProtocol:
         """Sender: hold each bit for Ts, encoding in a tight loop."""
         config = self.config
         channel = self.channel
+        obs = self._obs
+        session = self._session
 
         def program():
             now = yield ReadTSC()
             for bit in message:
                 run.bit_boundaries.append(now)
                 run.sent_bits.append(bit)
+                if obs is not None:
+                    obs.bits_sent.inc()
+                    session.event("channel.bit", bit=bit, cycle=now)
                 deadline = now + config.ts
                 while now < deadline:
                     addresses = channel.sender_addresses(bit)
@@ -232,6 +241,8 @@ class CovertChannelProtocol:
         channel = self.channel
         tsc = self.machine.tsc
         faults = self.machine.faults
+        obs = self._obs
+        session = self._session
 
         def program():
             # Prime the pointer-chase chain once (uncounted warm-up).
@@ -258,11 +269,19 @@ class CovertChannelProtocol:
                     sequence=sequence, latency=latency, timestamp=int(t_last)
                 )
                 if faults.active:
-                    run.observations.extend(
-                        faults.filter_observation(observation)
-                    )
+                    delivered = faults.filter_observation(observation)
                 else:
-                    run.observations.append(observation)
+                    delivered = [observation]
+                run.observations.extend(delivered)
+                if obs is not None:
+                    obs.observations.inc(len(delivered))
+                    session.event(
+                        "channel.sample",
+                        sequence=sequence,
+                        latency=latency,
+                        delivered=len(delivered),
+                        cycle=t_last,
+                    )
 
         return program
 
@@ -304,7 +323,14 @@ class CovertChannelProtocol:
             address_space=self.config.receiver_space,
         )
         scheduler = self.machine.hyper_threaded([sender, receiver])
-        run.total_cycles = scheduler.run()
+        if self._obs is not None:
+            self._obs.threshold.set(run.threshold)
+            with self._session.span(
+                "protocol.hyper_threaded", bits=len(message), samples=samples
+            ):
+                run.total_cycles = scheduler.run()
+        else:
+            run.total_cycles = scheduler.run()
         return run
 
     def run_time_sliced(
@@ -366,5 +392,16 @@ class CovertChannelProtocol:
             (samples + 4) * self.config.tr * (len(threads) + 0.5)
             + 8 * quantum
         )
-        run.total_cycles = scheduler.run(until_cycle=deadline)
+        if self._obs is not None:
+            self._obs.threshold.set(run.threshold)
+            self._obs.bits_sent.inc(samples)
+            with self._session.span(
+                "protocol.time_sliced",
+                constant_bit=constant_bit,
+                samples=samples,
+                quantum=quantum,
+            ):
+                run.total_cycles = scheduler.run(until_cycle=deadline)
+        else:
+            run.total_cycles = scheduler.run(until_cycle=deadline)
         return run

@@ -100,6 +100,15 @@ class InvariantViolation(SimulationError):
         super().__init__(text)
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was misused or fed a malformed artifact.
+
+    Examples: emitting a metric name absent from the catalogue in
+    ``repro/obs/catalog.py``, non-monotonic histogram bucket edges, or
+    a ``--trace`` JSONL file that does not parse.
+    """
+
+
 class LintError(ReproError):
     """One or more static-invariant lint findings, as a raisable summary.
 

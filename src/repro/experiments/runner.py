@@ -45,10 +45,43 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.common.errors import ExperimentTimeout
 from repro.common.retry import retry_with_backoff
 from repro.experiments.base import EXPERIMENT_REGISTRY, ExperimentResult
+from repro.obs.manifest import RunManifest
+from repro.obs.session import ObsSession, observe
 
 #: Seed offset between retry attempts, applied to experiments whose run
 #: function exposes an ``rng`` parameter.
 _SEED_STRIDE = 1000
+
+
+@dataclass
+class ObsCapture:
+    """Observability record of one experiment's successful attempt.
+
+    Attributes:
+        experiment_id: Registered experiment id.
+        manifest: Reproducibility record (seed, machines, engine, ...).
+        metrics: ``MetricsRegistry.snapshot()`` of the winning attempt,
+            or None for entries restored from an old checkpoint.
+        events: Trace-bus records of the winning attempt (empty unless
+            the runner was tracing).
+    """
+
+    experiment_id: str
+    manifest: RunManifest
+    metrics: Optional[Dict] = None
+    events: List[Dict] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        """Checkpoint payload: manifest + metrics (events are trace-only)."""
+        return {"manifest": self.manifest.to_dict(), "metrics": self.metrics}
+
+    @classmethod
+    def from_dict(cls, experiment_id: str, data: Dict) -> "ObsCapture":
+        return cls(
+            experiment_id=experiment_id,
+            manifest=RunManifest.from_dict(data["manifest"]),
+            metrics=data.get("metrics"),
+        )
 
 
 @dataclass
@@ -89,17 +122,19 @@ class RunReport:
         return ", ".join(parts)
 
 
-def _pool_worker(spec: Tuple) -> Tuple[str, str, Dict, float]:
+def _pool_worker(spec: Tuple) -> Tuple[str, str, Dict, float, Optional[Dict]]:
     """Run one experiment in a pool process; returns a picklable record.
 
-    ``spec`` is ``(experiment_id, timeout, retries, sanitize, fn)``
-    where ``fn`` is None for globally registered experiments (the
-    worker re-imports the registry — cheap under fork, required under
-    spawn) or the pickled callable for custom registries.  Results come
-    back as ``to_dict`` payloads, the same round-trip format the
-    checkpoint uses.
+    ``spec`` is ``(experiment_id, timeout, retries, sanitize, fn,
+    observe, trace_depth)`` where ``fn`` is None for globally registered
+    experiments (the worker re-imports the registry — cheap under fork,
+    required under spawn) or the pickled callable for custom registries.
+    Results come back as ``to_dict`` payloads, the same round-trip
+    format the checkpoint uses; the trailing element carries the
+    worker's :class:`ObsCapture` (manifest/metrics/events) when
+    observability was on.
     """
-    experiment_id, timeout, retries, sanitize, fn = spec
+    experiment_id, timeout, retries, sanitize, fn, observing, trace_depth = spec
     if fn is None:
         import repro.experiments  # noqa: F401 - populates the registry
 
@@ -111,7 +146,10 @@ def _pool_worker(spec: Tuple) -> Tuple[str, str, Dict, float]:
         retries=retries,
         sanitize=sanitize,
         registry=registry,
+        observe=observing,
+        trace_depth=max(trace_depth, 1),
     )
+    runner._tracing = trace_depth > 0
     start = time.monotonic()
     try:
         result = runner.run_one(experiment_id)
@@ -123,8 +161,25 @@ def _pool_worker(spec: Tuple) -> Tuple[str, str, Dict, float]:
             "attempts": retries + 1,
             "elapsed_seconds": time.monotonic() - start,
         }
-        return (experiment_id, "failure", payload, payload["elapsed_seconds"])
-    return (experiment_id, "result", result.to_dict(), time.monotonic() - start)
+        return (
+            experiment_id,
+            "failure",
+            payload,
+            payload["elapsed_seconds"],
+            None,
+        )
+    capture = runner.captures.get(experiment_id)
+    obs_payload = None
+    if capture is not None:
+        obs_payload = capture.to_dict()
+        obs_payload["events"] = capture.events
+    return (
+        experiment_id,
+        "result",
+        result.to_dict(),
+        time.monotonic() - start,
+        obs_payload,
+    )
 
 
 class ExperimentRunner:
@@ -147,6 +202,15 @@ class ExperimentRunner:
             corruption surfaces as a structured
             :class:`~repro.common.errors.InvariantViolation` failure
             for that experiment instead of a silently wrong table.
+        observe: Open an observability session around every attempt
+            (see :mod:`repro.obs`): the winning attempt's metrics
+            snapshot and run manifest land in :attr:`captures` (and in
+            the checkpoint).  Implied by ``trace_path``.
+        trace_path: Write the batch as a JSONL trace artifact
+            (:meth:`write_trace`): run header, then per experiment a
+            manifest, result, metrics snapshot, and the trace-bus tail.
+        trace_depth: Ring-buffer depth for the per-attempt trace bus
+            (only meaningful with ``trace_path``).
     """
 
     def __init__(
@@ -156,6 +220,9 @@ class ExperimentRunner:
         checkpoint_path: Optional[str] = None,
         registry: Optional[Dict[str, Callable[..., ExperimentResult]]] = None,
         sanitize: bool = False,
+        observe: bool = False,
+        trace_path: Optional[str] = None,
+        trace_depth: int = 65536,
     ):
         if timeout_seconds is not None and timeout_seconds <= 0:
             raise ValueError(
@@ -163,15 +230,27 @@ class ExperimentRunner:
             )
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if trace_depth < 1:
+            raise ValueError(f"trace_depth must be >= 1, got {trace_depth}")
         self.timeout_seconds = timeout_seconds
         self.retries = retries
         self.checkpoint_path = checkpoint_path
         self.registry = EXPERIMENT_REGISTRY if registry is None else registry
         self.sanitize = sanitize
+        self.trace_path = trace_path
+        self.trace_depth = trace_depth
+        self.observe = observe or trace_path is not None
+        # Whether per-attempt sessions carry a trace bus (the pool
+        # worker flips this on without a file path of its own).
+        self._tracing = trace_path is not None
+        #: Per-experiment observability records (manifest, metrics,
+        #: trace events) of completed experiments, keyed by id.
+        self.captures: Dict[str, ObsCapture] = {}
         # id -> JSON-encoded checkpoint entry; each entry is encoded
         # exactly once (at load or at completion) and reused verbatim
         # for every subsequent checkpoint write.
         self._encoded_entries: Dict[str, str] = {}
+        self._encoded_obs: Dict[str, str] = {}
         self._checkpoint_dirty = False
 
     # -- single experiment ---------------------------------------------
@@ -191,15 +270,60 @@ class ExperimentRunner:
             kwargs = {}
             if rng_parameter is not None and index > 0:
                 kwargs["rng"] = self._rotated_seed(rng_parameter, index)
-            if self.sanitize:
-                from repro.analysis.sanitize import scoped_sanitize
-
-                with scoped_sanitize():
-                    return self._call_with_timeout(experiment_id, fn, kwargs)
-            return self._call_with_timeout(experiment_id, fn, kwargs)
+            if not self.observe:
+                return self._run_attempt(experiment_id, fn, kwargs)
+            # A fresh session per attempt: counts never bleed between
+            # retries, and only the winning attempt's capture survives.
+            session = ObsSession(
+                trace_depth=self.trace_depth if self._tracing else 0
+            )
+            with observe(session):
+                with session.span(
+                    "experiment", experiment_id=experiment_id, attempt=index
+                ):
+                    result = self._run_attempt(experiment_id, fn, kwargs)
+            if index > 0:
+                session.metrics.counter("runner.retries").inc(index)
+            self._capture(experiment_id, session, rng_parameter, index)
+            return result
 
         return retry_with_backoff(
             attempt, attempts=self.retries + 1, base_delay=0.0
+        )
+
+    def _run_attempt(
+        self, experiment_id: str, fn: Callable, kwargs: Dict
+    ) -> ExperimentResult:
+        if self.sanitize:
+            from repro.analysis.sanitize import scoped_sanitize
+
+            with scoped_sanitize():
+                return self._call_with_timeout(experiment_id, fn, kwargs)
+        return self._call_with_timeout(experiment_id, fn, kwargs)
+
+    def _capture(
+        self,
+        experiment_id: str,
+        session: ObsSession,
+        rng_parameter: Optional[inspect.Parameter],
+        index: int,
+    ) -> None:
+        """Record the winning attempt's manifest, metrics, and events."""
+        from repro.sim.fastpath import default_engine
+
+        self.captures[experiment_id] = ObsCapture(
+            experiment_id=experiment_id,
+            manifest=RunManifest.with_provenance(
+                experiment_id=experiment_id,
+                seed=self._attempt_seed(rng_parameter, index),
+                attempts=index + 1,
+                machines=session.machines(),
+                fault_models=session.fault_models(),
+                engine=default_engine(),
+                sanitize=self.sanitize,
+            ),
+            metrics=session.metrics.snapshot(),
+            events=session.bus.records() if session.bus is not None else [],
         )
 
     @staticmethod
@@ -216,6 +340,18 @@ class ExperimentRunner:
         if not isinstance(base, int):
             base = 0
         return base + attempt * _SEED_STRIDE
+
+    @staticmethod
+    def _attempt_seed(
+        parameter: Optional[inspect.Parameter], attempt: int
+    ) -> Optional[int]:
+        """The seed attempt ``attempt`` actually ran with (for manifests)."""
+        if parameter is None:
+            return None
+        if attempt == 0:
+            default = parameter.default
+            return default if isinstance(default, int) else None
+        return ExperimentRunner._rotated_seed(parameter, attempt)
 
     def _call_with_timeout(
         self, experiment_id: str, fn: Callable, kwargs: Dict
@@ -348,19 +484,31 @@ class ExperimentRunner:
                 self.retries,
                 self.sanitize,
                 None if global_registry else self.registry[experiment_id],
+                self.observe,
+                self.trace_depth if self._tracing else 0,
             )
             for experiment_id in pending
         ]
         results_by_id: Dict[str, ExperimentResult] = {}
         failures_by_id: Dict[str, ExperimentFailure] = {}
         with multiprocessing.Pool(processes=min(jobs, len(specs))) as pool:
-            for experiment_id, kind, payload, elapsed in pool.imap_unordered(
-                _pool_worker, specs, chunksize=1
-            ):
+            for (
+                experiment_id,
+                kind,
+                payload,
+                elapsed,
+                obs_payload,
+            ) in pool.imap_unordered(_pool_worker, specs, chunksize=1):
                 if kind == "result":
                     result = ExperimentResult.from_dict(payload)
                     results_by_id[experiment_id] = result
                     completed[experiment_id] = result
+                    if obs_payload is not None:
+                        capture = ObsCapture.from_dict(
+                            experiment_id, obs_payload
+                        )
+                        capture.events = obs_payload.get("events", [])
+                        self.captures[experiment_id] = capture
                     self._record_completion(experiment_id, result)
                     self._save_checkpoint(completed)
                     if on_result is not None:
@@ -380,6 +528,7 @@ class ExperimentRunner:
 
     def _load_checkpoint(self) -> Dict[str, ExperimentResult]:
         self._encoded_entries = {}
+        self._encoded_obs = {}
         self._checkpoint_dirty = False
         if self.checkpoint_path is None:
             return {}
@@ -396,14 +545,23 @@ class ExperimentRunner:
             restored[experiment_id] = ExperimentResult.from_dict(entry)
             # Encode restored entries once, straight from the raw dict.
             self._encoded_entries[experiment_id] = json.dumps(entry)
+        for experiment_id, entry in data.get("obs", {}).items():
+            if experiment_id in restored:
+                self.captures[experiment_id] = ObsCapture.from_dict(
+                    experiment_id, entry
+                )
+                self._encoded_obs[experiment_id] = json.dumps(entry)
         return restored
 
     def _record_completion(
         self, experiment_id: str, result: ExperimentResult
     ) -> None:
-        """Encode one finished result for checkpoint reuse."""
+        """Encode one finished result (and its capture) for checkpoint reuse."""
         if self.checkpoint_path is not None:
             self._encoded_entries[experiment_id] = json.dumps(result.to_dict())
+            capture = self.captures.get(experiment_id)
+            if capture is not None:
+                self._encoded_obs[experiment_id] = json.dumps(capture.to_dict())
             self._checkpoint_dirty = True
 
     def _save_checkpoint(self, completed: Dict[str, ExperimentResult]) -> None:
@@ -415,15 +573,112 @@ class ExperimentRunner:
         # were encoded since the last write, so a batch of n completions
         # costs O(n) total encoding work instead of O(n^2).
         fragments = []
+        obs_fragments = []
         for experiment_id, result in completed.items():
             encoded = self._encoded_entries.get(experiment_id)
             if encoded is None:
                 encoded = json.dumps(result.to_dict())
                 self._encoded_entries[experiment_id] = encoded
             fragments.append(f"{json.dumps(experiment_id)}: {encoded}")
-        payload = '{"results": {' + ", ".join(fragments) + "}}"
+            encoded_obs = self._encoded_obs.get(experiment_id)
+            if encoded_obs is not None:
+                obs_fragments.append(
+                    f"{json.dumps(experiment_id)}: {encoded_obs}"
+                )
+        payload = (
+            '{"results": {'
+            + ", ".join(fragments)
+            + '}, "obs": {'
+            + ", ".join(obs_fragments)
+            + "}}"
+        )
         tmp_path = f"{self.checkpoint_path}.tmp"
         with open(tmp_path, "w") as handle:
             handle.write(payload)
         os.replace(tmp_path, self.checkpoint_path)
         self._checkpoint_dirty = False
+
+    # -- trace artifact -------------------------------------------------
+
+    def write_trace(
+        self, report: RunReport, ids: Sequence[str], jobs: int = 1
+    ) -> Optional[str]:
+        """Write the batch's JSONL trace artifact to ``trace_path``.
+
+        One ``run`` header (provenance + invocation), then per completed
+        experiment a ``manifest``, ``result``, and ``metrics`` record,
+        then the per-experiment trace-bus records (each stamped with its
+        ``experiment_id``).  Returns the path written, or None when the
+        runner has no ``trace_path``.
+        """
+        if self.trace_path is None:
+            return None
+        from repro.obs.manifest import git_revision
+        from repro.sim.fastpath import default_engine
+        import platform
+
+        import repro
+
+        lines: List[str] = []
+        header = {
+            "type": "run",
+            "experiment_ids": list(ids),
+            "package_version": repro.__version__,
+            "git_rev": git_revision(),
+            "python_version": platform.python_version(),
+            "engine": default_engine(),
+            "jobs": jobs,
+            "sanitize": self.sanitize,
+            "summary": report.summary(),
+        }
+        lines.append(json.dumps(header))
+        for result in report.results:
+            capture = self.captures.get(result.experiment_id)
+            if capture is not None:
+                manifest_record = {"type": "manifest"}
+                manifest_record.update(capture.manifest.to_dict())
+                lines.append(json.dumps(manifest_record))
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "result",
+                        "experiment_id": result.experiment_id,
+                        "result": result.to_dict(),
+                    }
+                )
+            )
+            if capture is not None and capture.metrics is not None:
+                lines.append(
+                    json.dumps(
+                        {
+                            "type": "metrics",
+                            "experiment_id": result.experiment_id,
+                            "metrics": capture.metrics,
+                        }
+                    )
+                )
+        for result in report.results:
+            capture = self.captures.get(result.experiment_id)
+            if capture is None:
+                continue
+            for record in capture.events:
+                stamped = dict(record)
+                stamped["experiment_id"] = result.experiment_id
+                lines.append(json.dumps(stamped))
+        for failure in report.failures:
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "failure",
+                        "experiment_id": failure.experiment_id,
+                        "error_type": failure.error_type,
+                        "message": failure.message,
+                        "attempts": failure.attempts,
+                    }
+                )
+            )
+        tmp_path = f"{self.trace_path}.tmp"
+        with open(tmp_path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        os.replace(tmp_path, self.trace_path)
+        return self.trace_path

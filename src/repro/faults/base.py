@@ -35,6 +35,8 @@ from repro.cache.hierarchy import CacheHierarchy
 from repro.common.errors import FaultInjectionError
 from repro.common.rng import spawn_rng
 from repro.common.types import MemoryAccess, Observation
+from repro.obs.instruments import for_injector
+from repro.obs.session import active as obs_active
 
 #: Thread id under which fault-injected accesses are accounted, so they
 #: never contaminate a victim's or attacker's performance counters
@@ -73,6 +75,7 @@ class FaultModel:
         self.hierarchy: Optional[CacheHierarchy] = None
         self.rng = None
         self._sink: Optional[Callable[[float, float], None]] = None
+        self._obs = None  # set by FaultInjector.attach when a session is live
 
     def bind(self, hierarchy: CacheHierarchy, rng) -> None:
         """Attach to a machine: receive the hierarchy and an RNG stream."""
@@ -112,6 +115,10 @@ class FaultModel:
         """Record one fired event with the core time it stole."""
         if self._sink is not None:
             self._sink(at, stolen)
+        if self._obs is not None:
+            self._obs.activations.inc()
+            if stolen:
+                self._obs.stolen_cycles.inc(int(stolen))
 
     def _disturb(self, address: int) -> float:
         """One disturbance access against the bound hierarchy.
@@ -205,6 +212,7 @@ class FaultInjector:
         self.event_log: Deque[Tuple[float, float]] = deque(
             maxlen=self._EVENT_LOG_LIMIT
         )
+        self._obs = for_injector(obs_active())
 
     @property
     def active(self) -> bool:
@@ -235,6 +243,11 @@ class FaultInjector:
             spawn_rng(self._rng, f"{model.name}#{len(self.models)}"),
         )
         model._sink = self._record_event
+        if self._obs is not None:
+            model._obs = self._obs.for_model(model.name)
+            session = obs_active()
+            if session is not None:
+                session.note_fault_model(model.name)
         self.models.append(model)
         return model
 
@@ -275,6 +288,11 @@ class FaultInjector:
             for obs in pending:
                 emitted.extend(model.filter_observation(obs))
             pending = emitted
+        if self._obs is not None:
+            if not pending:
+                self._obs.samples_dropped.inc()
+            elif len(pending) > 1:
+                self._obs.samples_duplicated.inc(len(pending) - 1)
         return pending
 
     def __repr__(self) -> str:

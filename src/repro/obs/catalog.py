@@ -1,0 +1,297 @@
+"""The metrics catalogue: every metric this package may emit.
+
+Observability only pays for itself if the numbers are trustworthy, and
+the first way metric systems rot is name drift — a module emits
+``cache.l1_hits`` while the dashboard reads ``cache.l1.hits`` and both
+sides silently show zero.  This catalogue is the single source of truth:
+a :class:`~repro.obs.registry.MetricsRegistry` refuses names that are
+not declared here, the ``metric-registered`` lint rule rejects source
+code that emits undeclared literals, and the generated table in
+``docs/OBSERVABILITY.md`` is rendered from this module
+(``python -m repro report --catalog``), so code, registry, and docs
+cannot disagree.
+
+Units are cycles or plain event counts — never wall-clock seconds; the
+simulator's observable quantities all live on the cycle clock (the
+paper's hit/miss latencies, transition counts, and error events are all
+cycle-domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Fixed histogram bucket upper edges for access latencies, in cycles.
+#: Chosen around the platform latency landmarks (L1 4, L2 12-20, LLC
+#: ~40, memory 200, clflush 250) so hit/miss populations land in
+#: distinct buckets on every MachineSpec; the final bucket is overflow.
+LATENCY_EDGES_CYCLES: Tuple[float, ...] = (
+    4.0,
+    8.0,
+    12.0,
+    16.0,
+    24.0,
+    32.0,
+    48.0,
+    64.0,
+    96.0,
+    128.0,
+    192.0,
+    256.0,
+    384.0,
+    512.0,
+)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric.
+
+    Attributes:
+        name: Dotted metric name (``domain.object.event``).
+        kind: ``"counter"``, ``"gauge"``, or ``"histogram"``.
+        unit: What one increment/observation means (``accesses``,
+            ``cycles``, ``events`` ...).
+        module: The emitting module (where the instrument lives).
+        description: One-line meaning, rendered into the docs table.
+        labelled: Whether series are split by a label (e.g. per
+            replacement-policy name); unlabelled metrics are single
+            scalars.
+    """
+
+    name: str
+    kind: str
+    unit: str
+    module: str
+    description: str
+    labelled: bool = False
+
+
+def _spec(
+    name: str,
+    kind: str,
+    unit: str,
+    module: str,
+    description: str,
+    labelled: bool = False,
+) -> Tuple[str, MetricSpec]:
+    return name, MetricSpec(name, kind, unit, module, description, labelled)
+
+
+#: Every metric the package may emit, keyed by name.  The
+#: ``metric-registered`` lint rule reads this mapping, so additions here
+#: are what authorize new emission sites.
+METRIC_CATALOG: Dict[str, MetricSpec] = dict(
+    [
+        _spec(
+            "cache.l1.hits",
+            "counter",
+            "accesses",
+            "repro.cache.hierarchy",
+            "Demand accesses that hit in the L1 data cache.",
+        ),
+        _spec(
+            "cache.l1.misses",
+            "counter",
+            "accesses",
+            "repro.cache.hierarchy",
+            "Demand accesses that missed the L1 data cache.",
+        ),
+        _spec(
+            "cache.l2.hits",
+            "counter",
+            "accesses",
+            "repro.cache.hierarchy",
+            "L1-miss accesses that hit in the L2 cache.",
+        ),
+        _spec(
+            "cache.l2.misses",
+            "counter",
+            "accesses",
+            "repro.cache.hierarchy",
+            "Accesses that missed both L1 and L2.",
+        ),
+        _spec(
+            "cache.llc.hits",
+            "counter",
+            "accesses",
+            "repro.cache.hierarchy",
+            "L2-miss accesses that hit in the LLC (three-level specs only).",
+        ),
+        _spec(
+            "cache.llc.misses",
+            "counter",
+            "accesses",
+            "repro.cache.hierarchy",
+            "Accesses that missed every cache level (three-level specs only).",
+        ),
+        _spec(
+            "cache.memory.fetches",
+            "counter",
+            "accesses",
+            "repro.cache.hierarchy",
+            "Demand accesses served by main memory.",
+        ),
+        _spec(
+            "cache.fills",
+            "counter",
+            "lines",
+            "repro.cache.hierarchy",
+            "Lines installed into a cache level, labelled by level name.",
+            labelled=True,
+        ),
+        _spec(
+            "cache.evictions",
+            "counter",
+            "lines",
+            "repro.cache.hierarchy",
+            "Valid lines displaced by a fill, labelled by the evicting "
+            "level's replacement policy.",
+            labelled=True,
+        ),
+        _spec(
+            "cache.flushes",
+            "counter",
+            "accesses",
+            "repro.cache.hierarchy",
+            "clflush operations sent through the hierarchy.",
+        ),
+        _spec(
+            "access.latency",
+            "histogram",
+            "cycles",
+            "repro.cache.hierarchy",
+            "Observed latency of every counted demand access "
+            "(fixed bucket edges, see LATENCY_EDGES_CYCLES).",
+        ),
+        _spec(
+            "replacement.transitions",
+            "counter",
+            "transitions",
+            "repro.cache.hierarchy",
+            "Replacement-state updates (hit touches and fill touches), "
+            "labelled by policy name — the LRU-state transition stream "
+            "of Table I.",
+            labelled=True,
+        ),
+        _spec(
+            "sched.ops",
+            "counter",
+            "operations",
+            "repro.sim.scheduler",
+            "Thread operations executed by a scheduler (accesses, "
+            "computes, TSC reads, sleeps).",
+        ),
+        _spec(
+            "sched.slices",
+            "counter",
+            "slices",
+            "repro.sim.scheduler",
+            "Scheduling quanta granted by the time-sliced scheduler "
+            "(context-switch boundaries).",
+        ),
+        _spec(
+            "sched.fault_stall_cycles",
+            "counter",
+            "cycles",
+            "repro.sim.scheduler",
+            "Fault-handler cycles charged to threads waking from a sleep "
+            "window that covered the fault event.",
+        ),
+        _spec(
+            "faults.activations",
+            "counter",
+            "events",
+            "repro.faults.base",
+            "Fault-model events fired, labelled by model name.",
+            labelled=True,
+        ),
+        _spec(
+            "faults.stolen_cycles",
+            "counter",
+            "cycles",
+            "repro.faults.base",
+            "Core cycles consumed by fault-event handlers, labelled by "
+            "model name.",
+            labelled=True,
+        ),
+        _spec(
+            "faults.samples.dropped",
+            "counter",
+            "samples",
+            "repro.faults.base",
+            "Receiver observations removed by sample-stream fault models.",
+        ),
+        _spec(
+            "faults.samples.duplicated",
+            "counter",
+            "samples",
+            "repro.faults.base",
+            "Extra copies of receiver observations inserted by "
+            "sample-stream fault models.",
+        ),
+        _spec(
+            "channel.bits.sent",
+            "counter",
+            "bits",
+            "repro.channels.protocol",
+            "Message bits the covert-channel sender started encoding.",
+        ),
+        _spec(
+            "channel.observations",
+            "counter",
+            "samples",
+            "repro.channels.protocol",
+            "Timed samples recorded by the covert-channel receiver "
+            "(after fault-model filtering).",
+        ),
+        _spec(
+            "channel.threshold",
+            "gauge",
+            "cycles",
+            "repro.channels.protocol",
+            "Hit/miss decision threshold of the most recent protocol run.",
+        ),
+        _spec(
+            "channel.decoded.bits",
+            "counter",
+            "bits",
+            "repro.channels.decoder",
+            "Bits produced by the symbol decoders (run-length, window, "
+            "moving-average).",
+        ),
+        _spec(
+            "runner.retries",
+            "counter",
+            "attempts",
+            "repro.experiments.runner",
+            "Extra attempts (with rotated seeds) the resilient runner "
+            "spent on the experiment whose session this is.",
+        ),
+        _spec(
+            "trace.events.dropped",
+            "counter",
+            "events",
+            "repro.obs.tracebus",
+            "Trace records that fell out of the ring buffer "
+            "(oldest-first) because the run outlived its depth.",
+        ),
+    ]
+)
+
+
+def catalog_markdown() -> str:
+    """The catalogue as a markdown table (the docs' generated section)."""
+    lines = [
+        "| Metric | Type | Unit | Labels | Emitting module | Description |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name in sorted(METRIC_CATALOG):
+        spec = METRIC_CATALOG[name]
+        label = "per series" if spec.labelled else "—"
+        lines.append(
+            f"| `{spec.name}` | {spec.kind} | {spec.unit} | {label} "
+            f"| `{spec.module}` | {spec.description} |"
+        )
+    return "\n".join(lines)

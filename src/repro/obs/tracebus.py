@@ -1,0 +1,102 @@
+"""Structured trace bus: bounded span/event records for one run.
+
+The paper argues from event streams — per-access hit/miss latencies
+(Figures 3 and 13), per-iteration transition counts (Table I) — so the
+trace layer records the same vocabulary: *events* (one record each) and
+*spans* (start/end pairs bracketing a phase: experiment → protocol run →
+sampling loop).
+
+Records live in a ring buffer so tracing a multi-million-access run
+costs O(depth) memory, never O(run length); what falls off the front is
+counted in the ``trace.events.dropped`` metric so truncation is visible
+rather than silent.  Timestamps are *simulated* quantities supplied by
+the caller (``cycle=`` fields) plus a monotonically increasing sequence
+number — never host wall-clock, which the ``no-wallclock`` lint rule
+bans from the simulator for good reason.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, List, Optional
+
+from repro.common.errors import ObservabilityError
+
+
+class TraceBus:
+    """Ring-buffered recorder of span/event dictionaries.
+
+    Args:
+        depth: Maximum records retained; the oldest fall off.
+        dropped_counter: Optional :class:`~repro.obs.registry.Counter`
+            bumped for every record the ring evicts (wired to
+            ``trace.events.dropped`` by the session).
+    """
+
+    def __init__(self, depth: int = 65536, dropped_counter=None):
+        if depth < 1:
+            raise ObservabilityError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._records: Deque[Dict] = deque()
+        self._dropped_counter = dropped_counter
+        self.dropped = 0
+        self._seq = 0
+        self._span_stack: List[int] = []
+        self._next_span_id = 1
+
+    # -- recording ------------------------------------------------------
+
+    def _append(self, record: Dict) -> None:
+        records = self._records
+        if len(records) >= self.depth:
+            records.popleft()
+            self.dropped += 1
+            if self._dropped_counter is not None:
+                self._dropped_counter.inc()
+        record["seq"] = self._seq
+        self._seq += 1
+        if self._span_stack:
+            record.setdefault("span", self._span_stack[-1])
+        records.append(record)
+
+    def event(self, name: str, **fields) -> None:
+        """Record one event; ``fields`` must be JSON-serialisable."""
+        record = {"type": "event", "name": name}
+        record.update(fields)
+        self._append(record)
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        """Bracket a phase with start/end records.
+
+        Spans carry an id and their parent's id, so a reader can rebuild
+        the experiment → protocol → batch tree even from a truncated
+        ring (ids are never reused within a bus).
+        """
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        start = {"type": "span_start", "name": name, "id": span_id}
+        start.update(fields)
+        self._append(start)
+        self._span_stack.append(span_id)
+        try:
+            yield span_id
+        finally:
+            self._span_stack.pop()
+            self._append({"type": "span_end", "name": name, "id": span_id})
+
+    # -- export ---------------------------------------------------------
+
+    def records(self) -> List[Dict]:
+        """Retained records, oldest first (the ring's current window)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceBus(depth={self.depth}, held={len(self._records)}, "
+            f"dropped={self.dropped})"
+        )

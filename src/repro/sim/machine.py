@@ -15,6 +15,7 @@ from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.prefetcher import StridePrefetcher
 from repro.common.rng import RngLike, make_rng, spawn_rng
 from repro.faults.base import FaultInjector, FaultModel
+from repro.obs.session import active as obs_active
 from repro.sim.scheduler import HyperThreadedScheduler, TimeSlicedScheduler
 from repro.sim.specs import INTEL_E5_2690, MachineSpec
 from repro.sim.thread import SimThread
@@ -68,6 +69,9 @@ class Machine:
             engine=engine,
         )
         self.engine = self.hierarchy.engine
+        session = obs_active()
+        if session is not None:
+            session.note_machine(spec.name, self.engine)
         self.tsc = TimestampCounter(spec.tsc, rng=spawn_rng(self.rng, "tsc"))
         # The injector draws its RNG lazily on first attach, so a
         # fault-free machine consumes exactly the same seed stream as

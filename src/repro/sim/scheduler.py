@@ -23,6 +23,8 @@ from repro.cache.hierarchy import CacheHierarchy
 from repro.common.errors import SimulationError
 from repro.common.rng import RngLike, make_rng
 from repro.common.types import MemoryAccess
+from repro.obs.instruments import for_scheduler
+from repro.obs.session import active as obs_active
 from repro.sim.ops import Access, Compute, ReadTSC, READ_TSC_COST, SleepUntil
 from repro.sim.thread import SimThread
 
@@ -44,6 +46,7 @@ class _SchedulerBase:
         self.hierarchy = hierarchy
         self.rng = make_rng(rng)
         self.faults = faults
+        self._obs = for_scheduler(obs_active())
 
     def _fault_wake_stall(self, thread: SimThread, now: float) -> float:
         """Fire pending fault events; return the wake-up stall for ``thread``.
@@ -63,10 +66,15 @@ class _SchedulerBase:
         if slept_from is None:
             return 0.0
         thread._slept_from = None
-        return self.faults.stall_in_window(slept_from, now)
+        stall = self.faults.stall_in_window(slept_from, now)
+        if stall and self._obs is not None:
+            self._obs.fault_stall_cycles.inc(int(stall))
+        return stall
 
     def _execute(self, thread: SimThread, op, now: float) -> float:
         """Run one operation at time ``now``; return its cycle cost."""
+        if self._obs is not None:
+            self._obs.ops.inc()
         if isinstance(op, ReadTSC):
             reading = now
             if self.faults is not None and self.faults.active:
@@ -203,6 +211,8 @@ class TimeSlicedScheduler(_SchedulerBase):
             index += 1
             if not thread.alive:
                 continue
+            if self._obs is not None:
+                self._obs.slices.inc()
             slice_end = min(now + self._slice_length(), until_cycle)
             # The thread resumes where it left off, but never in the past.
             thread.ready_at = max(thread.ready_at, now)

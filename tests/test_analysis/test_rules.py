@@ -250,6 +250,54 @@ class TestPolicyRegistered:
         assert hits == []
 
 
+class TestMetricRegistered:
+    def test_flags_undeclared_metric_literal(self):
+        source = (
+            "def build(session):\n"
+            "    session.metrics.counter('cache.l1.hitz')\n"
+            "    session.metrics.gauge('channel.thresholdd')\n"
+            "    session.metrics.histogram('access.latencies')\n"
+        )
+        hits = _rule_hits(source, rules=["metric-registered"])
+        assert hits == [
+            ("metric-registered", 2),
+            ("metric-registered", 3),
+            ("metric-registered", 4),
+        ]
+
+    def test_declared_metrics_pass(self):
+        source = (
+            "def build(session):\n"
+            "    session.metrics.counter('cache.l1.hits')\n"
+            "    session.metrics.counter('cache.fills', label='L1D')\n"
+            "    session.metrics.gauge('channel.threshold')\n"
+            "    session.metrics.histogram('access.latency')\n"
+        )
+        assert _rule_hits(source, rules=["metric-registered"]) == []
+
+    def test_dynamic_names_and_catalog_module_exempt(self):
+        # Non-literal names cannot be checked statically (the runtime
+        # registry still validates them); the catalogue module is the
+        # declaration site.
+        dynamic = "def f(r, name):\n    r.counter(name)\n"
+        assert _rule_hits(dynamic, rules=["metric-registered"]) == []
+        bogus = "REG.counter('not.a.metric')\n"
+        assert (
+            _rule_hits(
+                bogus,
+                path="src/repro/obs/catalog.py",
+                rules=["metric-registered"],
+            )
+            == []
+        )
+
+    def test_allow_comment_suppresses(self):
+        source = (
+            "r.counter('made.up')  # repro: allow(metric-registered)\n"
+        )
+        assert _rule_hits(source, rules=["metric-registered"]) == []
+
+
 class TestRegistry:
     def test_every_advertised_rule_is_registered(self):
         expected = {
@@ -260,6 +308,7 @@ class TestRegistry:
             "policy-registered",
             "experiment-registered",
             "fault-declares-injection",
+            "metric-registered",
         }
         assert expected <= set(RULE_REGISTRY)
 

@@ -156,20 +156,31 @@ class TestParallelRunMany:
 
 class TestPoolWorker:
     def test_result_payload_round_trips(self):
-        experiment_id, kind, payload, elapsed = _pool_worker(
-            ("beta", None, 0, False, run_beta)
+        experiment_id, kind, payload, elapsed, obs = _pool_worker(
+            ("beta", None, 0, False, run_beta, False, 0)
         )
         assert (experiment_id, kind) == ("beta", "result")
         assert ExperimentResult.from_dict(payload).rows == [[2]]
         assert elapsed >= 0.0
+        assert obs is None
 
     def test_failure_payload_is_structured(self):
-        experiment_id, kind, payload, _ = _pool_worker(
-            ("broken", None, 1, False, run_broken)
+        experiment_id, kind, payload, _, obs = _pool_worker(
+            ("broken", None, 1, False, run_broken, False, 0)
         )
         assert (experiment_id, kind) == ("broken", "failure")
         assert payload["error_type"] == "RuntimeError"
         assert payload["attempts"] == 2
+        assert obs is None
+
+    def test_observing_worker_returns_capture(self):
+        _, kind, _, _, obs = _pool_worker(
+            ("beta", None, 0, False, run_beta, True, 0)
+        )
+        assert kind == "result"
+        assert obs is not None
+        assert obs["manifest"]["experiment_id"] == "beta"
+        assert "metrics" in obs and obs["events"] == []
 
 
 class TestCheckpointCosts:

@@ -1,0 +1,19 @@
+"""Regenerate golden_report.md from the synthetic trace in
+test_report.py (run after deliberate report-format changes):
+
+    PYTHONPATH=src:tests python tests/test_obs/regen_golden.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+
+from test_obs.test_report import GOLDEN, sample_records  # noqa: E402
+
+from repro.obs.report import render_report  # noqa: E402
+
+if __name__ == "__main__":
+    with open(GOLDEN, "w") as handle:
+        handle.write(render_report(sample_records()) + "\n")
+    print(f"wrote {GOLDEN}")

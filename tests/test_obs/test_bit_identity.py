@@ -1,0 +1,54 @@
+"""Observability must read the simulation, never steer it: results are
+bit-identical with no session, with a metrics-only session, and with
+full tracing."""
+
+import repro.experiments  # noqa: F401 - populates the registry
+from repro.channels import (
+    CovertChannelProtocol,
+    ProtocolConfig,
+    SharedMemoryLRUChannel,
+    runlength_decode,
+    sample_bits,
+)
+from repro.experiments import EXPERIMENT_REGISTRY
+from repro.obs.session import ObsSession, observe
+from repro.sim import INTEL_E5_2690, Machine
+
+MESSAGE = [1, 0, 1, 1, 0, 0, 1, 0]
+
+
+def _transfer():
+    machine = Machine(INTEL_E5_2690, rng=2024)
+    channel = SharedMemoryLRUChannel.build(
+        machine.spec.hierarchy.l1, target_set=1, d=8
+    )
+    protocol = CovertChannelProtocol(
+        machine, channel, ProtocolConfig(ts=6000, tr=600)
+    )
+    run = protocol.run_hyper_threaded(MESSAGE)
+    return (
+        runlength_decode(sample_bits(run), 10)[: len(MESSAGE)],
+        run.latencies(),
+    )
+
+
+class TestBitIdentity:
+    def test_protocol_run_identical_under_observation(self):
+        bare = _transfer()
+        with observe(ObsSession(trace_depth=0)):
+            metrics_only = _transfer()
+        with observe(ObsSession(trace_depth=4096)) as session:
+            traced = _transfer()
+        assert metrics_only == bare
+        assert traced == bare
+        # and the session actually saw the run (this is not a no-op)
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["channel.bits.sent"] == len(MESSAGE)
+        assert len(session.bus.records()) > 0
+
+    def test_experiment_identical_under_observation(self):
+        run = EXPERIMENT_REGISTRY["table2"]
+        bare = run()
+        with observe(ObsSession(trace_depth=0)):
+            observed = run()
+        assert observed.to_dict() == bare.to_dict()

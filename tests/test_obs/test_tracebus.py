@@ -1,0 +1,88 @@
+"""Ring-buffer truncation and span structure of the trace bus."""
+
+import pytest
+
+from repro.common.errors import ObservabilityError
+from repro.obs.registry import Counter
+from repro.obs.tracebus import TraceBus
+
+
+class TestRingBuffer:
+    def test_truncates_oldest_first(self):
+        bus = TraceBus(depth=4)
+        for i in range(10):
+            bus.event("tick", i=i)
+        assert len(bus) == 4
+        assert bus.dropped == 6
+        assert [r["i"] for r in bus.records()] == [6, 7, 8, 9]
+
+    def test_seq_numbers_survive_truncation(self):
+        bus = TraceBus(depth=3)
+        for i in range(8):
+            bus.event("tick", i=i)
+        assert [r["seq"] for r in bus.records()] == [5, 6, 7]
+
+    def test_dropped_counter_is_bumped(self):
+        counter = Counter()
+        bus = TraceBus(depth=2, dropped_counter=counter)
+        for i in range(5):
+            bus.event("tick", i=i)
+        assert counter.value == 3
+        assert bus.dropped == 3
+
+    def test_under_capacity_drops_nothing(self):
+        bus = TraceBus(depth=100)
+        for i in range(10):
+            bus.event("tick", i=i)
+        assert bus.dropped == 0
+        assert len(bus) == 10
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ObservabilityError, match="depth"):
+            TraceBus(depth=0)
+
+
+class TestSpans:
+    def test_span_start_end_pair(self):
+        bus = TraceBus()
+        with bus.span("experiment", experiment_id="fig4") as span_id:
+            bus.event("inner")
+        records = bus.records()
+        assert [r["type"] for r in records] == [
+            "span_start",
+            "event",
+            "span_end",
+        ]
+        start, inner, end = records
+        assert start["id"] == end["id"] == span_id
+        assert start["experiment_id"] == "fig4"
+        assert inner["span"] == span_id
+
+    def test_nested_spans_record_parents(self):
+        bus = TraceBus()
+        with bus.span("experiment") as outer:
+            with bus.span("protocol.hyper_threaded") as inner:
+                bus.event("channel.bit", bit=1)
+        records = {(r["type"], r.get("name")): r for r in bus.records()}
+        assert (
+            records[("span_start", "protocol.hyper_threaded")]["span"]
+            == outer
+        )
+        assert records[("event", "channel.bit")]["span"] == inner
+        assert outer != inner
+
+    def test_span_ids_never_reused(self):
+        bus = TraceBus()
+        ids = []
+        for _ in range(3):
+            with bus.span("experiment") as span_id:
+                ids.append(span_id)
+        assert len(set(ids)) == 3
+
+    def test_span_stack_unwinds_on_error(self):
+        bus = TraceBus()
+        with pytest.raises(RuntimeError):
+            with bus.span("experiment"):
+                raise RuntimeError("boom")
+        bus.event("after")
+        assert "span" not in bus.records()[-1]

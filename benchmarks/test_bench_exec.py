@@ -1,0 +1,104 @@
+"""Executor benchmarks: bare ``multiprocessing.Pool`` vs the supervisor.
+
+Regenerate the committed baseline with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_exec.py \
+        --benchmark-only --benchmark-json=benchmarks/BENCH_exec.json
+
+The supervised executor (``repro/experiments/supervisor.py``) buys
+crash recovery with machinery a bare ``Pool`` does not have: per-worker
+task queues, a result-pump loop in the parent, and a heartbeat thread
+in every worker.  On a fault-free batch all of that must be overhead
+noise — the budget is **10%** over the ``Pool`` wall-clock, policed by
+``scripts_check_bench_regression.py`` against the committed
+``benchmarks/BENCH_exec.json`` baseline.
+
+Both executors run the *identical* task batch (seeded cache access
+sweeps — the simulator's real inner loop, sized so per-task compute
+dwarfs pickling but fixed scheduling costs do not vanish), and each
+bench asserts the results are bit-identical to a serial pass before
+timing.
+"""
+
+import multiprocessing
+import os
+
+from repro.cache.cache import SetAssociativeCache
+from repro.common.rng import make_rng
+from repro.common.types import MemoryAccess
+from repro.experiments.supervisor import SupervisedExecutor
+from repro.sim import INTEL_E5_2690
+
+#: Tasks per batch and workers per executor.  Eight ~100ms tasks over
+#: two workers: long enough that compute dominates, short enough that
+#: per-task dispatch (the overhead under test) still registers.
+TASKS = 8
+JOBS = 2
+
+#: Cache accesses per task (~100ms of the reference engine's hot loop).
+ACCESSES = 8000
+
+#: Working set in cache lines — a few L1 footprints, so the sweep
+#: exercises hits, misses, and evictions rather than pure fills.
+WORKING_SET_LINES = 2048
+
+
+def batch_task(index):
+    """One batch unit: a seeded access sweep against a fresh L1 model."""
+    cache = SetAssociativeCache(INTEL_E5_2690.hierarchy.l1, rng=index)
+    rng = make_rng(1000 + index)
+    hits = 0
+    for _ in range(ACCESSES):
+        access = MemoryAccess(
+            address=rng.randrange(WORKING_SET_LINES) * 64
+        )
+        if cache.lookup(access).hit:
+            hits += 1
+        else:
+            cache.fill(access)
+    return (index, hits)
+
+
+def run_pool():
+    """The pre-supervisor fan-out: a bare worker pool, no recovery."""
+    with multiprocessing.Pool(JOBS) as pool:  # repro: allow(no-bare-pool)
+        return sorted(pool.map(batch_task, range(TASKS)))
+
+
+def run_supervised():
+    """The same batch through the crash-safe supervised executor."""
+    records = []
+    executor = SupervisedExecutor(
+        batch_task,
+        jobs=JOBS,
+        heartbeat_interval=0.2,
+        poll_interval=0.01,
+    )
+    outcome = executor.run(
+        [(f"task{i:02d}", i) for i in range(TASKS)], records.append
+    )
+    assert outcome.stats.clean, outcome.stats.to_dict()
+    assert not outcome.unfinished and not outcome.interrupted
+    return sorted(records)
+
+
+def bench_executor(benchmark, executor, fn):
+    # Both paths must reproduce the serial batch bit-identically.
+    assert fn() == sorted(batch_task(i) for i in range(TASKS))
+    benchmark.pedantic(fn, rounds=3, iterations=1)
+    benchmark.extra_info["executor"] = executor
+    benchmark.extra_info["workload"] = "cache-sweep"
+    benchmark.extra_info["tasks"] = TASKS
+    benchmark.extra_info["jobs"] = JOBS
+    benchmark.extra_info["accesses_per_task"] = ACCESSES
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+
+def test_bench_exec_pool(benchmark):
+    """Fault-free batch through a bare ``multiprocessing.Pool``."""
+    bench_executor(benchmark, "pool", run_pool)
+
+
+def test_bench_exec_supervised(benchmark):
+    """Fault-free batch through ``SupervisedExecutor`` (same workers)."""
+    bench_executor(benchmark, "supervised", run_supervised)

@@ -1,22 +1,29 @@
-"""Check an engine benchmark run against the committed baseline.
+"""Check a benchmark run against its committed baseline.
 
 Usage::
 
     python scripts_check_bench_regression.py CURRENT.json \
         [--baseline benchmarks/BENCH_engine.json] \
-        [--min-speedup 2.0] [--tolerance 0.25]
+        [--min-speedup 2.0] [--tolerance 0.25] [--max-exec-overhead 0.10]
 
-Both files are ``pytest-benchmark --benchmark-json`` output from
-``benchmarks/test_bench_engine.py``.  Absolute times are machine-bound
-and meaningless across hosts, so the check works on the *speedup
-ratios* (reference mean / fast mean, per algorithm), which are
-host-relative:
+Both files are ``pytest-benchmark --benchmark-json`` output — from
+``benchmarks/test_bench_engine.py`` (engine speedups) or
+``benchmarks/test_bench_exec.py`` (executor overhead); the script
+applies whichever checks the run's ``extra_info`` pairs support.
+Absolute times are machine-bound and meaningless across hosts, so
+every check works on *ratios*, which are host-relative:
 
-* every algorithm's fast-engine speedup must reach ``--min-speedup``
-  (the committed baseline shows >= 3x; CI uses a lower floor to absorb
-  shared-runner noise);
-* no algorithm's speedup may fall more than ``--tolerance`` (default
-  25%) below the committed baseline's speedup.
+* every algorithm's fast-engine speedup (reference mean / fast mean)
+  must reach ``--min-speedup`` (the committed baseline shows >= 3x; CI
+  uses a lower floor to absorb shared-runner noise), and may not fall
+  more than ``--tolerance`` (default 25%) below the committed
+  baseline's speedup;
+* the supervised executor's fault-free overhead (supervised mean /
+  bare-``Pool`` mean, per workload) may not exceed
+  ``--max-exec-overhead`` (default 10%) — or, when the committed
+  baseline already records an overhead, ``--tolerance`` above that
+  baseline, whichever ceiling is higher (shared-runner noise on a
+  ~1.0x ratio is proportionally large).
 
 Exit code 0 when every check passes, 1 otherwise.
 """
@@ -48,6 +55,21 @@ def speedups(means):
         algorithm: engines["reference"] / engines["fast"]
         for algorithm, engines in by_algorithm.items()
         if "reference" in engines and "fast" in engines
+    }
+
+
+def exec_overheads(means):
+    """workload -> supervised mean / pool mean, for paired exec benches."""
+    by_workload = {}
+    for name, (mean, extra) in means.items():
+        executor = extra.get("executor")
+        workload = extra.get("workload")
+        if executor and workload:
+            by_workload.setdefault(workload, {})[executor] = mean
+    return {
+        workload: executors["supervised"] / executors["pool"]
+        for workload, executors in by_workload.items()
+        if "pool" in executors and "supervised" in executors
     }
 
 
@@ -109,12 +131,23 @@ def main(argv=None):
         help="allowed fractional drop below the baseline speedup "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--max-exec-overhead",
+        type=float,
+        default=0.10,
+        help="absolute budget for supervised-executor overhead over the "
+        "bare Pool (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
-    current = speedups(load_means(args.current))
-    baseline = speedups(load_means(args.baseline))
-    if not current:
-        print("no paired engine benchmarks found in the current run")
+    current_means = load_means(args.current)
+    baseline_means = load_means(args.baseline)
+    current = speedups(current_means)
+    baseline = speedups(baseline_means)
+    current_exec = exec_overheads(current_means)
+    baseline_exec = exec_overheads(baseline_means)
+    if not current and not current_exec:
+        print("no paired engine or executor benchmarks in the current run")
         return 1
 
     failed = False
@@ -133,7 +166,24 @@ def main(argv=None):
             failed = True
         print(line)
 
-    for line in batch_speedups(load_means(args.current)):
+    for workload in sorted(current_exec):
+        overhead = current_exec[workload]
+        ceiling = 1.0 + args.max_exec_overhead
+        line = (
+            f"{workload}: supervised/pool overhead {overhead:.3f}x "
+            f"(budget {ceiling:.2f}x"
+        )
+        reference = baseline_exec.get(workload)
+        if reference is not None:
+            ceiling = max(ceiling, reference * (1.0 + args.tolerance))
+            line += f", baseline {reference:.3f}x, ceiling {ceiling:.2f}x"
+        line += ")"
+        if overhead > ceiling:
+            line += "  REGRESSION"
+            failed = True
+        print(line)
+
+    for line in batch_speedups(current_means):
         if line is not None:
             print(line)
 

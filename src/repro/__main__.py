@@ -57,6 +57,9 @@ def _cmd_run(
     jobs: int = 1,
     engine: str = None,
     trace: str = None,
+    max_task_crashes: int = 3,
+    heartbeat_interval: float = 1.0,
+    drain_timeout: float = 10.0,
 ) -> int:
     if engine is not None:
         from repro.sim.fastpath import set_default_engine
@@ -90,6 +93,9 @@ def _cmd_run(
         checkpoint_path=checkpoint,
         sanitize=sanitize,
         trace_path=trace,
+        max_task_crashes=max_task_crashes,
+        heartbeat_interval=heartbeat_interval,
+        drain_timeout=drain_timeout,
     )
     report = runner.run_many(
         chosen, on_result=show_result, on_failure=show_failure, jobs=jobs
@@ -99,6 +105,8 @@ def _cmd_run(
     print(f"summary: {report.summary()}")
     if written is not None:
         print(f"trace written to {written}")
+    if report.interrupted:
+        return 130
     return 0 if report.ok else 1
 
 
@@ -247,6 +255,34 @@ def build_parser() -> argparse.ArgumentParser:
         "manifest, results, metrics snapshots, and ring-buffered trace "
         "events (render it with `python -m repro report PATH`)",
     )
+    run_parser.add_argument(
+        "--max-task-crashes",
+        type=int,
+        default=3,
+        metavar="K",
+        help="quarantine an experiment as a structured failure after K "
+        "consecutive worker crashes on it, instead of aborting the "
+        "batch (default: 3)",
+    )
+    run_parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="how often parallel workers stamp their heartbeat; a "
+        "worker silent for 10 intervals is hard-killed and its task "
+        "requeued (default: 1.0)",
+    )
+    run_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGINT/SIGTERM, wait this long for in-flight "
+        "experiments to finish and the checkpoint to flush before "
+        "killing workers; a second signal aborts immediately "
+        "(default: 10.0)",
+    )
     report_parser = sub.add_parser(
         "report", help="render a --trace artifact as markdown"
     )
@@ -306,6 +342,9 @@ def main(argv: list = None) -> int:
             jobs=args.jobs,
             engine=args.engine,
             trace=args.trace,
+            max_task_crashes=args.max_task_crashes,
+            heartbeat_interval=args.heartbeat_interval,
+            drain_timeout=args.drain_timeout,
         )
     if args.command == "report":
         return _cmd_report(

@@ -42,6 +42,13 @@ Each rule enforces one repo-wide structural invariant:
     readers (and the injector's runtime validation) know which of the
     three hooks the model uses.
 
+``no-bare-pool``
+    Process fan-out goes through the supervised executor
+    (``repro.experiments.supervisor``), which survives worker crashes,
+    hangs, and signals.  A bare ``multiprocessing.Pool`` elsewhere
+    reintroduces the failure mode this repo already paid to remove:
+    one dead worker aborts the whole batch.
+
 ``metric-registered``
     Every metric name emitted as a string literal
     (``.counter("...")``, ``.gauge("...")``, ``.histogram("...")``)
@@ -371,6 +378,61 @@ def check_fault_declares_injection(ctx: FileContext) -> None:
                 "injection_points",
                 hint="add `injection_points = (...)` with values from "
                 f"{sorted(FAULT_INJECTION_POINTS)}",
+            )
+
+
+#: The one module allowed to build raw process pools/processes: the
+#: supervised executor, which wraps them in crash/hang/signal handling.
+_POOL_OWNER = "repro.experiments.supervisor"
+
+
+@rule(
+    "no-bare-pool",
+    description="multiprocessing.Pool used outside the supervised executor",
+)
+def check_no_bare_pool(ctx: FileContext) -> None:
+    if ctx.module == _POOL_OWNER:
+        return
+    pool_aliases: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module in ("multiprocessing", "multiprocessing.pool"):
+                for alias in node.names:
+                    if alias.name == "Pool":
+                        pool_aliases.add(alias.asname or alias.name)
+                        ctx.report(
+                            "no-bare-pool",
+                            node,
+                            "Pool imported from multiprocessing outside "
+                            "the supervised executor",
+                            hint="use repro.experiments.supervisor."
+                            "SupervisedExecutor (or run_many(jobs=N)); "
+                            "it survives worker crashes and signals",
+                        )
+    for node in ast.walk(ctx.tree):
+        func = node.func if isinstance(node, ast.Call) else None
+        if func is None:
+            continue
+        if isinstance(func, ast.Attribute) and func.attr == "Pool":
+            # multiprocessing.Pool(...), mp.Pool(...), ctx.Pool(...)
+            ctx.report(
+                "no-bare-pool",
+                node,
+                "bare multiprocessing Pool constructed outside the "
+                "supervised executor",
+                hint="use repro.experiments.supervisor.SupervisedExecutor "
+                "(or run_many(jobs=N)); it survives worker crashes "
+                "and signals",
+            )
+        elif isinstance(func, ast.Name) and func.id in pool_aliases:
+            ctx.report(
+                "no-bare-pool",
+                node,
+                "bare multiprocessing Pool constructed outside the "
+                "supervised executor",
+                hint="use repro.experiments.supervisor.SupervisedExecutor "
+                "(or run_many(jobs=N)); it survives worker crashes "
+                "and signals",
             )
 
 

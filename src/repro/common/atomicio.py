@@ -1,0 +1,75 @@
+"""Durable atomic file publication and artifact quarantine.
+
+The runner's durable artifacts (checkpoints, trace files) are written
+with the classic write-temp-then-rename pattern, which protects readers
+from *torn* writes but not from *lost* ones: ``os.replace`` only
+reorders directory entries, and a power loss (or a SIGKILL racing the
+page cache) after the rename can still publish an empty or truncated
+file if the temp file's data never reached disk.  :func:`atomic_write_text`
+closes that hole the standard way — fsync the temp file before the
+rename, then fsync the containing directory so the rename itself is
+durable.
+
+:func:`quarantine_file` is the other half of the trust story: a durable
+artifact that fails validation (bad JSON, bad checksum) is *moved aside*
+to ``<name>.corrupt`` for post-mortem instead of being deleted or —
+worse — silently ignored and overwritten on the next save.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+
+def fsync_directory(path: str) -> None:
+    """Flush a directory entry to disk; no-op where unsupported.
+
+    Opening a directory read-only and fsyncing it is the POSIX idiom for
+    making a completed rename durable.  Some filesystems (and Windows)
+    refuse one of the steps; losing the *directory* sync there degrades
+    to the old rename-only guarantee rather than failing the write.
+    """
+    try:
+        fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Atomically and durably replace ``path`` with ``text``.
+
+    The data is written to ``<path>.tmp``, flushed and fsynced, renamed
+    over ``path``, and the parent directory entry is fsynced — after a
+    crash at any point, readers see either the complete old file or the
+    complete new one, never an empty or partial file.
+    """
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    fsync_directory(os.path.dirname(os.path.abspath(path)))
+
+
+def quarantine_file(path: str) -> Optional[str]:
+    """Move a failed artifact to ``<path>.corrupt`` for post-mortem.
+
+    Returns the quarantine path, or ``None`` when the move itself failed
+    (e.g. the file vanished or the directory is read-only) — callers
+    warn either way, so a corrupt artifact is never silently consumed.
+    """
+    corrupt_path = f"{path}.corrupt"
+    try:
+        os.replace(path, corrupt_path)
+    except OSError:
+        return None
+    fsync_directory(os.path.dirname(os.path.abspath(path)))
+    return corrupt_path

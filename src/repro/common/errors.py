@@ -51,6 +51,38 @@ class ExperimentTimeout(ReproError):
     """
 
 
+class ExecutorError(ReproError):
+    """The supervised executor cannot make progress.
+
+    Raised when the batch as a whole is stuck — for example every worker
+    slot has exhausted its respawn budget while tasks are still pending.
+    Per-task problems never raise this; they become structured failures
+    in the run report (see :class:`WorkerCrashed`).
+    """
+
+
+class WorkerCrashed(ExecutorError):
+    """A worker process died (or was killed) while running a task.
+
+    The supervised executor converts worker death into re-queues, and —
+    after ``max_task_crashes`` consecutive crashes on the same task —
+    into a structured quarantine failure whose ``error_type`` is this
+    class's name.  It is also raised directly by test fixtures that
+    assert on the crash path.
+    """
+
+
+class CheckpointCorruptWarning(UserWarning):
+    """Warning category for quarantined checkpoint/trace artifacts.
+
+    The checkpoint loader never raises on corruption during a resume —
+    it quarantines the file to ``<name>.corrupt``, warns with this
+    category, and recomputes.  Callers that would rather hard-stop can
+    escalate it (``warnings.simplefilter("error",
+    CheckpointCorruptWarning)``).
+    """
+
+
 class InvariantViolation(SimulationError):
     """Replacement/cache/scheduler state broke a structural invariant.
 

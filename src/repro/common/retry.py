@@ -4,6 +4,14 @@ The resilient experiment runner retries failing experiments with
 rotated seeds; this module holds the generic retry loop so it can be
 unit-tested on its own and reused anywhere (benchmark harnesses,
 checkpoint IO on contended filesystems).
+
+Backoff supports *full jitter* (AWS architecture-blog style): instead of
+every caller sleeping exactly ``base * 2**n``, the sleep is drawn
+uniformly from ``[0, base * 2**n]``.  Without it, parallel workers that
+fail together (a shared resource hiccup, a chaos-injected crash wave)
+retry together forever; jitter decorrelates the herd.  The jitter RNG is
+seeded through :mod:`repro.common.rng` so retry schedules stay
+reproducible from a seed like everything else in this package.
 """
 
 from __future__ import annotations
@@ -11,7 +19,20 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
+from repro.common.rng import RngLike, make_rng
+
 T = TypeVar("T")
+
+
+def full_jitter(delay: float, rng) -> float:
+    """One full-jitter draw: uniform in ``[0, delay]``.
+
+    Exposed on its own so other backoff loops (the supervised executor's
+    worker-respawn throttle) share the exact same jitter semantics.
+    """
+    if delay <= 0:
+        return 0.0
+    return rng.uniform(0.0, delay)
 
 
 def retry_with_backoff(
@@ -22,6 +43,7 @@ def retry_with_backoff(
     retry_on: Tuple[Type[BaseException], ...] = (Exception,),
     sleep: Callable[[float], None] = time.sleep,
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    jitter: RngLike = None,
 ) -> T:
     """Call ``fn(attempt)`` until it succeeds, backing off exponentially.
 
@@ -37,6 +59,11 @@ def retry_with_backoff(
         sleep: Injection point for tests (receives the delay).
         on_retry: Optional callback invoked as ``on_retry(attempt,
             error)`` after a failed attempt that will be retried.
+        jitter: When not ``None``, apply full jitter: each sleep is
+            drawn uniformly from ``[0, current_delay]`` using an RNG
+            made by :func:`repro.common.rng.make_rng` from this seed
+            (or the RNG itself), so parallel workers that fail in
+            lockstep do not also retry in lockstep.
 
     Returns:
         The first successful ``fn`` result.
@@ -49,6 +76,7 @@ def retry_with_backoff(
         raise ValueError(f"attempts must be >= 1, got {attempts}")
     if base_delay < 0 or max_delay < 0:
         raise ValueError("delays must be >= 0")
+    rng = make_rng(jitter) if jitter is not None else None
     delay = base_delay
     for attempt in range(attempts):
         try:
@@ -59,6 +87,7 @@ def retry_with_backoff(
             if on_retry is not None:
                 on_retry(attempt, error)
             if delay > 0:
-                sleep(min(delay, max_delay))
+                bounded = min(delay, max_delay)
+                sleep(full_jitter(bounded, rng) if rng is not None else bounded)
             delay = min(delay * 2, max_delay) if delay > 0 else 0.0
     raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,198 @@
+"""Chaos harness: a test-only fault plane *around* the simulator.
+
+``repro.faults`` injects disturbances *inside* the simulation (interrupt
+bursts, TSC jitter); this module injects them around it — into the
+supervised executor's worker processes and durable artifacts — so the
+recovery machinery in :mod:`repro.experiments.supervisor` can be proven
+rather than trusted:
+
+* **worker kills** — a worker decides, deterministically from the chaos
+  seed and the (task, attempt) pair, to die mid-task with ``os._exit``:
+  either before running the task (the result is simply lost) or after
+  computing it but before reporting (the nastier case: work done, result
+  lost, the re-run must still be bit-identical);
+* **heartbeat stalls** — the worker's heartbeat thread goes quiet for a
+  configured window while the task keeps running, exercising the
+  supervisor's stale-heartbeat hard-kill path;
+* **artifact corruption** — :func:`truncate_file` and
+  :func:`bit_flip_file` damage checkpoints/traces the way torn writes
+  and bad sectors do, exercising checksum detection and quarantine;
+* **randomized signals** — :func:`schedule_signal` delivers SIGINT/
+  SIGTERM to the supervising process at a seeded random point,
+  exercising the graceful-drain path.
+
+Everything is seeded: the same :class:`ChaosConfig` against the same
+batch produces the same kills at the same points, so chaos tests are
+deterministic and a failure reproduces from its seed.  Decisions hash
+``(seed, task_id, attempt)`` with SHA-256 rather than drawing from a
+shared stream, so they are independent of scheduling order across
+workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal as signal_module
+import threading
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.rng import make_rng
+
+#: Exit status a chaos-killed worker dies with — distinctive in ps/wait
+#: output so a chaos kill is never mistaken for a real crash under test.
+CHAOS_EXIT_CODE = 86
+
+
+@dataclass(frozen=True)
+class ChaosDecision:
+    """What chaos does to one (task, attempt) execution."""
+
+    kill_before_run: bool = False
+    kill_before_report: bool = False
+    stall_heartbeat: bool = False
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded worker-fault plan, serializable across the fork boundary.
+
+    Args:
+        seed: Master chaos seed; every per-(task, attempt) decision is
+            derived from it, so runs replay exactly.
+        kill_before_run: Probability a worker exits hard before running
+            the task it just received.
+        kill_before_report: Probability a worker exits hard after
+            running the task but before reporting the result.
+        stall_heartbeat: Probability the worker's heartbeat goes quiet
+            for ``stall_seconds`` while the task runs.
+        stall_seconds: Length of an injected heartbeat stall.
+        only_tasks: When non-empty, chaos only strikes these task ids —
+            the way to build a guaranteed poison task
+            (``kill_before_run=1.0, only_tasks=("victim",)``).
+    """
+
+    seed: int = 0
+    kill_before_run: float = 0.0
+    kill_before_report: float = 0.0
+    stall_heartbeat: float = 0.0
+    stall_seconds: float = 0.0
+    only_tasks: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        for name in ("kill_before_run", "kill_before_report", "stall_heartbeat"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.stall_seconds < 0:
+            raise ValueError(
+                f"stall_seconds must be >= 0, got {self.stall_seconds}"
+            )
+
+    # -- serialization (the config crosses the process boundary) --------
+
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["only_tasks"] = list(self.only_tasks)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChaosConfig":
+        data = dict(data)
+        data["only_tasks"] = tuple(data.get("only_tasks", ()))
+        return cls(**data)
+
+    # -- decisions ------------------------------------------------------
+
+    def decide(self, task_id: str, attempt: int) -> ChaosDecision:
+        """The (deterministic) fault plan for one task execution.
+
+        Hashing ``(seed, task_id, attempt)`` gives every execution an
+        independent, scheduling-order-free random stream; retries of a
+        killed task draw fresh decisions, so a task under sub-certain
+        kill probability eventually completes.
+        """
+        if self.only_tasks and task_id not in self.only_tasks:
+            return ChaosDecision()
+        digest = hashlib.sha256(
+            f"{self.seed}:{task_id}:{attempt}".encode()
+        ).digest()
+        rng = make_rng(int.from_bytes(digest[:8], "big"))
+        return ChaosDecision(
+            kill_before_run=rng.random() < self.kill_before_run,
+            kill_before_report=rng.random() < self.kill_before_report,
+            stall_heartbeat=rng.random() < self.stall_heartbeat,
+        )
+
+
+def chaos_exit() -> None:  # pragma: no cover - exercised in subprocesses
+    """Die the way a crashed worker dies: immediately, skipping cleanup."""
+    os._exit(CHAOS_EXIT_CODE)
+
+
+# ----------------------------------------------------------------------
+# Artifact corruption (parent-side, used by tests and the chaos suite)
+# ----------------------------------------------------------------------
+
+
+def truncate_file(path: str, keep_fraction: float = 0.5) -> int:
+    """Truncate a file to a fraction of its size, as a torn write would.
+
+    Returns the number of bytes kept.  ``keep_fraction=0`` leaves an
+    empty file — the exact artifact a power loss between ``open`` and
+    ``write`` used to publish before fsync'd atomic writes.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(
+            f"keep_fraction must be in [0, 1), got {keep_fraction}"
+        )
+    size = os.path.getsize(path)
+    keep = int(size * keep_fraction)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def bit_flip_file(path: str, seed: int = 0) -> int:
+    """Flip one seeded-random bit in the file; returns the byte offset.
+
+    A single flipped bit is the hardest corruption to catch by eye and
+    exactly what the checksum envelope exists for.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"cannot bit-flip empty file {path!r}")
+    rng = make_rng(seed)
+    offset = rng.randrange(size)
+    bit = 1 << rng.randrange(8)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ bit]))
+    return offset
+
+
+# ----------------------------------------------------------------------
+# Randomized signal delivery (parent-side)
+# ----------------------------------------------------------------------
+
+
+def schedule_signal(
+    delay: float,
+    signum: int = signal_module.SIGINT,
+    pid: Optional[int] = None,
+) -> threading.Timer:
+    """Deliver ``signum`` to ``pid`` (default: this process) after ``delay``.
+
+    Returns the started :class:`threading.Timer`; tests cancel it in a
+    ``finally`` so a signal never outlives its test.  Combined with a
+    seeded random delay this is the "signal at a randomized point" leg
+    of the chaos plane.
+    """
+    target = os.getpid() if pid is None else pid
+    timer = threading.Timer(delay, os.kill, args=(target, signum))
+    timer.daemon = True
+    timer.start()
+    return timer

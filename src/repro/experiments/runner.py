@@ -22,35 +22,68 @@ experiment with:
   instead of recomputing finished experiments.  Entries are encoded
   once per completion and the already-encoded fragments are reused, so
   checkpointing a batch of n experiments costs O(n) encoding work, not
-  O(n^2);
-* **process parallelism** — ``run_many(..., jobs=N)`` fans independent
-  experiments out over a ``multiprocessing`` pool.  Every experiment
-  derives its seeds from its own registered defaults (rotated
-  deterministically on retry), so results are bit-identical to a
-  sequential run; completions merge into the checkpoint as they
-  arrive, and per-experiment failure isolation is unchanged.
+  O(n^2).  Checkpoints are versioned and checksummed: a torn or
+  bit-flipped file is *detected* at load, quarantined to
+  ``<name>.corrupt``, and loudly warned about — never silently
+  swallowed — and the legacy (PR 3/4) unversioned format migrates to
+  the checksummed one on first load;
+* **supervised process parallelism** — ``run_many(..., jobs=N)`` fans
+  independent experiments out over the supervised executor
+  (:mod:`repro.experiments.supervisor`): long-lived workers with
+  heartbeats and per-task deadlines, re-queue of tasks lost to worker
+  death, poison-task quarantine after ``max_task_crashes`` consecutive
+  crashes, and graceful SIGINT/SIGTERM drain that flushes the
+  checkpoint before returning.  Every experiment derives its seeds
+  from its own registered defaults (rotated deterministically on
+  retry), so results are bit-identical to a sequential run even when
+  workers crash and tasks re-run; completions merge into the
+  checkpoint as they arrive, and per-experiment failure isolation is
+  unchanged.
 """
 
 from __future__ import annotations
 
+import hashlib
 import inspect
 import json
-import multiprocessing
-import os
 import threading
 import time
+import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ExperimentTimeout
+from repro.common.atomicio import atomic_write_text, quarantine_file
+from repro.common.errors import CheckpointCorruptWarning, ExperimentTimeout
 from repro.common.retry import retry_with_backoff
 from repro.experiments.base import EXPERIMENT_REGISTRY, ExperimentResult
 from repro.obs.manifest import RunManifest
-from repro.obs.session import ObsSession, observe
+from repro.obs.session import ObsSession, active, observe
 
 #: Seed offset between retry attempts, applied to experiments whose run
 #: function exposes an ``rng`` parameter.
 _SEED_STRIDE = 1000
+
+#: Current on-disk checkpoint format.  Version 2 wraps the PR 3/4
+#: payload in a ``{"version", "checksum", "data"}`` envelope whose
+#: checksum covers the exact bytes of the ``data`` value.
+CHECKPOINT_VERSION = 2
+
+#: Current trace-artifact format: the JSONL stream ends with a
+#: ``trace-footer`` record carrying a checksum over every preceding
+#: byte.  Readers accept footer-less (PR 4) traces unchanged.
+TRACE_VERSION = 2
+
+
+def _sha256_label(text: str) -> str:
+    return "sha256:" + hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _maybe_observe(session: Optional[ObsSession]):
+    """``observe(session)``, or a no-op context when observability is off."""
+    if session is None:
+        return nullcontext()
+    return observe(session)
 
 
 @dataclass
@@ -104,27 +137,41 @@ class ExperimentFailure:
 
 @dataclass
 class RunReport:
-    """Outcome of one batch: completed results plus structured failures."""
+    """Outcome of one batch: completed results plus structured failures.
+
+    ``interrupted`` means a SIGINT/SIGTERM drained the batch: completed
+    results (and the checkpoint) are intact, ``unfinished`` lists the
+    experiment ids that never ran, and a re-run with the same
+    checkpoint completes exactly the remainder.
+    """
 
     results: List[ExperimentResult] = field(default_factory=list)
     failures: List[ExperimentFailure] = field(default_factory=list)
     resumed: List[str] = field(default_factory=list)
+    interrupted: bool = False
+    unfinished: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.interrupted
 
     def summary(self) -> str:
         parts = [f"{len(self.results)} completed"]
         if self.resumed:
             parts.append(f"{len(self.resumed)} restored from checkpoint")
         parts.append(f"{len(self.failures)} failed")
+        if self.interrupted:
+            parts.append(
+                f"interrupted with {len(self.unfinished)} unfinished "
+                "(checkpoint flushed; re-run to resume)"
+            )
         return ", ".join(parts)
 
 
 def _pool_worker(spec: Tuple) -> Tuple[str, str, Dict, float, Optional[Dict]]:
-    """Run one experiment in a pool process; returns a picklable record.
+    """Run one experiment in a worker process; returns a picklable record.
 
+    This is the task body the supervised executor's workers run.
     ``spec`` is ``(experiment_id, timeout, retries, sanitize, fn,
     observe, trace_depth)`` where ``fn`` is None for globally registered
     experiments (the worker re-imports the registry — cheap under fork,
@@ -132,7 +179,9 @@ def _pool_worker(spec: Tuple) -> Tuple[str, str, Dict, float, Optional[Dict]]:
     Results come back as ``to_dict`` payloads, the same round-trip
     format the checkpoint uses; the trailing element carries the
     worker's :class:`ObsCapture` (manifest/metrics/events) when
-    observability was on.
+    observability was on.  Task-level errors are caught and returned as
+    structured failure records — an exception escaping this function
+    would kill the worker and be misread as a crash.
     """
     experiment_id, timeout, retries, sanitize, fn, observing, trace_depth = spec
     if fn is None:
@@ -211,7 +260,24 @@ class ExperimentRunner:
             manifest, result, metrics snapshot, and the trace-bus tail.
         trace_depth: Ring-buffer depth for the per-attempt trace bus
             (only meaningful with ``trace_path``).
+        max_task_crashes: Consecutive worker crashes one experiment may
+            cause under ``jobs > 1`` before it is quarantined as a
+            structured failure instead of re-queued.
+        heartbeat_interval: Worker heartbeat period under ``jobs > 1``.
+        drain_timeout: After SIGINT/SIGTERM, how long in-flight
+            experiments may finish before being killed.
+        task_deadline_seconds: Hard per-task wall-clock backstop
+            enforced by worker SIGKILL; default derives from
+            ``timeout_seconds`` (attempts budget plus grace), ``None``
+            with no timeout.
+        chaos: Test-only :class:`~repro.experiments.chaos.ChaosConfig`
+            injected into workers.
     """
+
+    #: Grace added to the derived per-task deadline: the worker's own
+    #: cooperative timeout fires first; the supervisor kill is for
+    #: processes too wedged to honor it.
+    TASK_DEADLINE_GRACE = 30.0
 
     def __init__(
         self,
@@ -223,6 +289,11 @@ class ExperimentRunner:
         observe: bool = False,
         trace_path: Optional[str] = None,
         trace_depth: int = 65536,
+        max_task_crashes: int = 3,
+        heartbeat_interval: float = 1.0,
+        drain_timeout: float = 10.0,
+        task_deadline_seconds: Optional[float] = None,
+        chaos=None,
     ):
         if timeout_seconds is not None and timeout_seconds <= 0:
             raise ValueError(
@@ -240,18 +311,35 @@ class ExperimentRunner:
         self.trace_path = trace_path
         self.trace_depth = trace_depth
         self.observe = observe or trace_path is not None
-        # Whether per-attempt sessions carry a trace bus (the pool
-        # worker flips this on without a file path of its own).
+        self.max_task_crashes = max_task_crashes
+        self.heartbeat_interval = heartbeat_interval
+        self.drain_timeout = drain_timeout
+        self.task_deadline_seconds = task_deadline_seconds
+        self.chaos = chaos
+        # Whether per-attempt sessions carry a trace bus (the worker
+        # flips this on without a file path of its own).
         self._tracing = trace_path is not None
         #: Per-experiment observability records (manifest, metrics,
         #: trace events) of completed experiments, keyed by id.
         self.captures: Dict[str, ObsCapture] = {}
+        #: Supervisor recovery counters of the last parallel batch
+        #: (:class:`~repro.experiments.supervisor.ExecutorStats`), or
+        #: None when the batch ran in-process.
+        self.executor_stats = None
+        #: Corrupt durable artifacts detected (and quarantined) by this
+        #: runner — surfaces in the trace header.
+        self.corrupt_artifacts_detected = 0
+        #: Snapshot of the batch-level (parent-process) metrics of the
+        #: last ``run_many`` call, when observability was on: executor
+        #: recovery counters, checkpoint corruption detections.
+        self.batch_metrics: Optional[Dict] = None
         # id -> JSON-encoded checkpoint entry; each entry is encoded
         # exactly once (at load or at completion) and reused verbatim
         # for every subsequent checkpoint write.
         self._encoded_entries: Dict[str, str] = {}
         self._encoded_obs: Dict[str, str] = {}
         self._checkpoint_dirty = False
+        self._legacy_checkpoint = False
 
     # -- single experiment ---------------------------------------------
 
@@ -402,32 +490,44 @@ class ExperimentRunner:
             on_failure: Callback fired after each terminal failure.
             jobs: Number of worker processes.  1 (the default) runs in
                 this process; higher values fan pending experiments out
-                over a ``multiprocessing`` pool.  Seeds are derived from
-                each experiment's own registered defaults, so parallel
-                results are identical to sequential ones.
+                over the supervised executor
+                (:mod:`repro.experiments.supervisor`), which survives
+                worker crashes, hangs, and signals.  Seeds are derived
+                from each experiment's own registered defaults, so
+                parallel results are identical to sequential ones even
+                when a task re-runs after a crash.
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         report = RunReport()
-        completed = self._load_checkpoint()
-        pending: List[str] = []
-        for experiment_id in ids:
-            if experiment_id in completed:
-                result = completed[experiment_id]
-                report.results.append(result)
-                report.resumed.append(experiment_id)
-                if on_result is not None:
-                    on_result(result, 0.0)
+        batch_session = ObsSession(trace_depth=0) if self.observe else None
+        with _maybe_observe(batch_session):
+            completed = self._load_checkpoint()
+            if self._legacy_checkpoint and completed:
+                # One-step migration: rewrite the legacy (unversioned)
+                # checkpoint in the checksummed envelope immediately.
+                self._checkpoint_dirty = True
+                self._save_checkpoint(completed)
+            pending: List[str] = []
+            for experiment_id in ids:
+                if experiment_id in completed:
+                    result = completed[experiment_id]
+                    report.results.append(result)
+                    report.resumed.append(experiment_id)
+                    if on_result is not None:
+                        on_result(result, 0.0)
+                else:
+                    pending.append(experiment_id)
+            if jobs == 1 or len(pending) <= 1:
+                self._run_sequential(
+                    pending, report, completed, on_result, on_failure
+                )
             else:
-                pending.append(experiment_id)
-        if jobs == 1 or len(pending) <= 1:
-            self._run_sequential(
-                pending, report, completed, on_result, on_failure
-            )
-        else:
-            self._run_parallel(
-                pending, report, completed, on_result, on_failure, jobs
-            )
+                self._run_parallel(
+                    pending, report, completed, on_result, on_failure, jobs
+                )
+        if batch_session is not None:
+            self.batch_metrics = batch_session.metrics.snapshot()
         return report
 
     def _run_sequential(
@@ -461,6 +561,20 @@ class ExperimentRunner:
             if on_result is not None:
                 on_result(result, time.monotonic() - start)
 
+    def _task_deadline(self) -> Optional[float]:
+        """The supervisor's hard per-task kill budget.
+
+        Explicit ``task_deadline_seconds`` wins; otherwise derive from
+        the cooperative per-attempt timeout (which the worker enforces
+        itself) — all attempts plus grace — or no deadline at all.
+        """
+        if self.task_deadline_seconds is not None:
+            return self.task_deadline_seconds
+        if self.timeout_seconds is None:
+            return None
+        budget = self.timeout_seconds * (self.retries + 1)
+        return budget + self.TASK_DEADLINE_GRACE
+
     def _run_parallel(
         self,
         pending: Sequence[str],
@@ -470,54 +584,72 @@ class ExperimentRunner:
         on_failure,
         jobs: int,
     ) -> None:
-        """Fan pending experiments out over a process pool.
+        """Fan pending experiments out over the supervised executor.
 
         Callbacks and checkpoint merges happen in this (parent) process
         as completions arrive; the final report lists results in
-        submission order so output is stable across schedules.
+        submission order so output is stable across schedules.  Worker
+        crashes re-queue their task (the re-run is bit-identical) and
+        poison tasks arrive as structured ``WorkerCrashed`` failures.
         """
+        from repro.experiments.supervisor import SupervisedExecutor
+
         global_registry = self.registry is EXPERIMENT_REGISTRY
-        specs = [
+        tasks = [
             (
                 experiment_id,
-                self.timeout_seconds,
-                self.retries,
-                self.sanitize,
-                None if global_registry else self.registry[experiment_id],
-                self.observe,
-                self.trace_depth if self._tracing else 0,
+                (
+                    experiment_id,
+                    self.timeout_seconds,
+                    self.retries,
+                    self.sanitize,
+                    None if global_registry else self.registry[experiment_id],
+                    self.observe,
+                    self.trace_depth if self._tracing else 0,
+                ),
             )
             for experiment_id in pending
         ]
         results_by_id: Dict[str, ExperimentResult] = {}
         failures_by_id: Dict[str, ExperimentFailure] = {}
-        with multiprocessing.Pool(processes=min(jobs, len(specs))) as pool:
-            for (
-                experiment_id,
-                kind,
-                payload,
-                elapsed,
-                obs_payload,
-            ) in pool.imap_unordered(_pool_worker, specs, chunksize=1):
-                if kind == "result":
-                    result = ExperimentResult.from_dict(payload)
-                    results_by_id[experiment_id] = result
-                    completed[experiment_id] = result
-                    if obs_payload is not None:
-                        capture = ObsCapture.from_dict(
-                            experiment_id, obs_payload
-                        )
-                        capture.events = obs_payload.get("events", [])
-                        self.captures[experiment_id] = capture
-                    self._record_completion(experiment_id, result)
-                    self._save_checkpoint(completed)
-                    if on_result is not None:
-                        on_result(result, elapsed)
-                else:
-                    failure = ExperimentFailure(**payload)
-                    failures_by_id[experiment_id] = failure
-                    if on_failure is not None:
-                        on_failure(failure)
+
+        def on_record(record) -> None:
+            experiment_id, kind, payload, elapsed, obs_payload = record
+            if kind == "result":
+                result = ExperimentResult.from_dict(payload)
+                results_by_id[experiment_id] = result
+                completed[experiment_id] = result
+                if obs_payload is not None:
+                    capture = ObsCapture.from_dict(experiment_id, obs_payload)
+                    capture.events = obs_payload.get("events", [])
+                    self.captures[experiment_id] = capture
+                self._record_completion(experiment_id, result)
+                self._save_checkpoint(completed)
+                if on_result is not None:
+                    on_result(result, elapsed)
+            else:
+                failure = ExperimentFailure(**payload)
+                failures_by_id[experiment_id] = failure
+                if on_failure is not None:
+                    on_failure(failure)
+
+        executor = SupervisedExecutor(
+            worker_fn=_pool_worker,
+            jobs=min(jobs, len(tasks)),
+            heartbeat_interval=self.heartbeat_interval,
+            task_deadline=self._task_deadline(),
+            max_task_crashes=self.max_task_crashes,
+            drain_timeout=self.drain_timeout,
+            chaos=self.chaos,
+        )
+        outcome = executor.run(tasks, on_record)
+        self.executor_stats = outcome.stats
+        report.interrupted = outcome.interrupted
+        report.unfinished = list(outcome.unfinished)
+        # A drain interrupts the executor loop between completions; the
+        # per-completion saves already flushed everything that finished,
+        # but make the final state explicit (and cheap: clean skips).
+        self._save_checkpoint(completed)
         for experiment_id in pending:
             if experiment_id in results_by_id:
                 report.results.append(results_by_id[experiment_id])
@@ -530,28 +662,107 @@ class ExperimentRunner:
         self._encoded_entries = {}
         self._encoded_obs = {}
         self._checkpoint_dirty = False
+        self._legacy_checkpoint = False
         if self.checkpoint_path is None:
             return {}
         try:
             with open(self.checkpoint_path) as handle:
-                data = json.load(handle)
+                raw = handle.read()
         except FileNotFoundError:
             return {}
-        except (json.JSONDecodeError, OSError):
-            # A torn or unreadable checkpoint only costs recomputation.
-            return {}
+        except (OSError, UnicodeDecodeError) as error:
+            # UnicodeDecodeError: a bit flip can corrupt the UTF-8
+            # encoding itself, before JSON parsing even starts.
+            return self._quarantine_checkpoint(f"unreadable: {error}")
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as error:
+            return self._quarantine_checkpoint(f"not valid JSON ({error})")
+        if not isinstance(data, dict):
+            return self._quarantine_checkpoint("top-level value is not a dict")
+        if "version" in data:
+            entries = self._verify_envelope(raw, data)
+            if entries is None:
+                return {}
+        else:
+            # Legacy PR 3/4 format: no envelope, payload at top level.
+            # Accept it and migrate to the checksummed format on the
+            # next save (run_many forces one immediately).
+            entries = data
+            self._legacy_checkpoint = True
         restored = {}
-        for experiment_id, entry in data.get("results", {}).items():
-            restored[experiment_id] = ExperimentResult.from_dict(entry)
-            # Encode restored entries once, straight from the raw dict.
-            self._encoded_entries[experiment_id] = json.dumps(entry)
-        for experiment_id, entry in data.get("obs", {}).items():
-            if experiment_id in restored:
-                self.captures[experiment_id] = ObsCapture.from_dict(
-                    experiment_id, entry
-                )
-                self._encoded_obs[experiment_id] = json.dumps(entry)
+        try:
+            for experiment_id, entry in entries.get("results", {}).items():
+                restored[experiment_id] = ExperimentResult.from_dict(entry)
+                # Encode restored entries once, straight from the raw dict.
+                self._encoded_entries[experiment_id] = json.dumps(entry)
+            for experiment_id, entry in entries.get("obs", {}).items():
+                if experiment_id in restored:
+                    self.captures[experiment_id] = ObsCapture.from_dict(
+                        experiment_id, entry
+                    )
+                    self._encoded_obs[experiment_id] = json.dumps(entry)
+        except (KeyError, TypeError, AttributeError) as error:
+            self.captures.clear()
+            self._encoded_entries = {}
+            self._encoded_obs = {}
+            return self._quarantine_checkpoint(
+                f"entries do not decode ({type(error).__name__}: {error})"
+            )
         return restored
+
+    def _verify_envelope(self, raw: str, data: Dict) -> Optional[Dict]:
+        """Validate a versioned checkpoint envelope; None means corrupt.
+
+        The checksum covers the exact bytes of the ``data`` value as
+        written by :meth:`_save_checkpoint`, so any torn tail, flipped
+        bit, or hand edit inside the payload is caught without
+        re-canonicalizing the JSON.
+        """
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            self._quarantine_checkpoint(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build writes {CHECKPOINT_VERSION})"
+            )
+            return None
+        body = raw.rstrip()
+        marker = '"data": '
+        index = body.find(marker)
+        if not body.endswith("}") or index == -1:
+            self._quarantine_checkpoint("envelope layout is malformed")
+            return None
+        payload = body[index + len(marker):-1]
+        if _sha256_label(payload) != data.get("checksum"):
+            self._quarantine_checkpoint("checksum mismatch")
+            return None
+        entries = data.get("data")
+        if not isinstance(entries, dict):
+            self._quarantine_checkpoint("data section is not a dict")
+            return None
+        return entries
+
+    def _quarantine_checkpoint(self, reason: str) -> Dict:
+        """Move a corrupt checkpoint aside and warn — never silently eat it."""
+        corrupt_path = quarantine_file(self.checkpoint_path)
+        self.corrupt_artifacts_detected += 1
+        session = active()
+        if session is not None:
+            session.metrics.counter("checkpoint.corrupt.detected").inc()
+        where = (
+            f"quarantined to {corrupt_path}"
+            if corrupt_path
+            else "could not be quarantined (left in place; it will be "
+            "overwritten)"
+        )
+        warnings.warn(
+            f"checkpoint {self.checkpoint_path} failed integrity checks "
+            f"({reason}); {where}; completed experiments will be "
+            "recomputed",
+            CheckpointCorruptWarning,
+            stacklevel=3,
+        )
+        return {}
 
     def _record_completion(
         self, experiment_id: str, result: ExperimentResult
@@ -592,11 +803,17 @@ class ExperimentRunner:
             + ", ".join(obs_fragments)
             + "}}"
         )
-        tmp_path = f"{self.checkpoint_path}.tmp"
-        with open(tmp_path, "w") as handle:
-            handle.write(payload)
-        os.replace(tmp_path, self.checkpoint_path)
+        # Envelope: version + checksum over the payload's exact bytes.
+        # The write is atomic *and durable* (fsync before rename) so a
+        # power loss never publishes an empty or torn file.
+        text = (
+            f'{{"version": {CHECKPOINT_VERSION}, '
+            f'"checksum": "{_sha256_label(payload)}", '
+            f'"data": {payload}}}'
+        )
+        atomic_write_text(self.checkpoint_path, text)
         self._checkpoint_dirty = False
+        self._legacy_checkpoint = False
 
     # -- trace artifact -------------------------------------------------
 
@@ -622,6 +839,7 @@ class ExperimentRunner:
         lines: List[str] = []
         header = {
             "type": "run",
+            "trace_version": TRACE_VERSION,
             "experiment_ids": list(ids),
             "package_version": repro.__version__,
             "git_rev": git_revision(),
@@ -631,6 +849,12 @@ class ExperimentRunner:
             "sanitize": self.sanitize,
             "summary": report.summary(),
         }
+        if self.executor_stats is not None:
+            header["executor"] = self.executor_stats.to_dict()
+        if self.corrupt_artifacts_detected:
+            header["corrupt_artifacts_detected"] = (
+                self.corrupt_artifacts_detected
+            )
         lines.append(json.dumps(header))
         for result in report.results:
             capture = self.captures.get(result.experiment_id)
@@ -677,8 +901,14 @@ class ExperimentRunner:
                     }
                 )
             )
-        tmp_path = f"{self.trace_path}.tmp"
-        with open(tmp_path, "w") as handle:
-            handle.write("\n".join(lines) + "\n")
-        os.replace(tmp_path, self.trace_path)
+        body = "\n".join(lines) + "\n"
+        footer = json.dumps(
+            {
+                "type": "trace-footer",
+                "trace_version": TRACE_VERSION,
+                "records": len(lines),
+                "checksum": _sha256_label(body),
+            }
+        )
+        atomic_write_text(self.trace_path, body + footer + "\n")
         return self.trace_path

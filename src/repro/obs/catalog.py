@@ -270,6 +270,37 @@ METRIC_CATALOG: Dict[str, MetricSpec] = dict(
             "spent on the experiment whose session this is.",
         ),
         _spec(
+            "executor.workers.crashed",
+            "counter",
+            "workers",
+            "repro.experiments.supervisor",
+            "Worker processes that died or were hard-killed (deadline "
+            "or heartbeat breach) while owning a task.",
+        ),
+        _spec(
+            "executor.tasks.requeued",
+            "counter",
+            "tasks",
+            "repro.experiments.supervisor",
+            "Tasks put back on the queue after losing their worker.",
+        ),
+        _spec(
+            "executor.tasks.quarantined",
+            "counter",
+            "tasks",
+            "repro.experiments.supervisor",
+            "Poison tasks converted to structured failures after "
+            "max_task_crashes consecutive worker crashes.",
+        ),
+        _spec(
+            "checkpoint.corrupt.detected",
+            "counter",
+            "files",
+            "repro.experiments.runner",
+            "Durable artifacts that failed integrity checks at load and "
+            "were quarantined to <name>.corrupt.",
+        ),
+        _spec(
             "trace.events.dropped",
             "counter",
             "events",

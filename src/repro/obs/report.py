@@ -12,10 +12,13 @@ EXPERIMENTS.md itself is regenerated through this module
 
 from __future__ import annotations
 
+import hashlib
 import json
+import warnings
 from typing import Dict, List, Optional, Sequence
 
-from repro.common.errors import ObservabilityError
+from repro.common.atomicio import quarantine_file
+from repro.common.errors import CheckpointCorruptWarning, ObservabilityError
 from repro.experiments.base import ExperimentResult
 from repro.obs.catalog import catalog_markdown
 from repro.obs.manifest import RunManifest
@@ -111,22 +114,71 @@ def experiment_block(
 
 
 def read_records(path: str) -> List[Dict]:
-    """Parse one ``--trace`` JSONL file into its record dictionaries."""
+    """Parse one ``--trace`` JSONL file into its record dictionaries.
+
+    Traces written since the trace-footer format carry a final
+    ``trace-footer`` record whose checksum covers every preceding byte;
+    when present it is verified (and stripped from the returned
+    records).  A trace that fails the check — truncated tail, flipped
+    bit — is quarantined to ``<path>.corrupt`` and the read raises,
+    so a corrupt artifact is never rendered as if it were trustworthy.
+    Footer-less traces from older runs still read fine.
+    """
     records = []
-    with open(path) as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as error:
-                raise ObservabilityError(
-                    f"{path}:{lineno}: not valid JSONL ({error})"
-                ) from error
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except UnicodeDecodeError as error:
+        # A bit flip can corrupt the UTF-8 encoding itself.
+        _quarantine_trace(path, f"not valid UTF-8 ({error})")
+        raise ObservabilityError(
+            f"{path}: not valid UTF-8 ({error}); file quarantined to "
+            f"{path}.corrupt"
+        ) from error
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            _quarantine_trace(path, f"line {lineno} is not valid JSONL")
+            raise ObservabilityError(
+                f"{path}:{lineno}: not valid JSONL ({error}); file "
+                f"quarantined to {path}.corrupt"
+            ) from error
     if not records:
         raise ObservabilityError(f"{path}: empty trace file")
+    if records[-1].get("type") == "trace-footer":
+        footer = records.pop()
+        stripped = text.rstrip("\n")
+        footer_start = stripped.rfind("\n") + 1
+        body = text[:footer_start]
+        digest = "sha256:" + hashlib.sha256(body.encode("utf-8")).hexdigest()
+        if digest != footer.get("checksum"):
+            _quarantine_trace(path, "trace-footer checksum mismatch")
+            raise ObservabilityError(
+                f"{path}: trace-footer checksum mismatch (the file was "
+                f"truncated or modified after writing); quarantined to "
+                f"{path}.corrupt"
+            )
+        if not records:
+            raise ObservabilityError(f"{path}: empty trace file")
     return records
+
+
+def _quarantine_trace(path: str, reason: str) -> None:
+    corrupt_path = quarantine_file(path)
+    warnings.warn(
+        f"trace {path} failed integrity checks ({reason}); "
+        + (
+            f"quarantined to {corrupt_path}"
+            if corrupt_path
+            else "could not be quarantined"
+        ),
+        CheckpointCorruptWarning,
+        stacklevel=3,
+    )
 
 
 class RunRecords:
@@ -244,6 +296,17 @@ def render_report(records: Sequence[Dict]) -> str:
     ]
     parts.append("_provenance: " + " · ".join(provenance) + "_")
     parts.append("")
+    executor = header.get("executor")
+    if executor:
+        recovery = [
+            f"crashed {executor.get('workers_crashed', 0)}",
+            f"requeued {executor.get('tasks_requeued', 0)}",
+            f"quarantined {executor.get('tasks_quarantined', 0)}",
+            f"deadline-kills {executor.get('workers_killed_deadline', 0)}",
+            f"heartbeat-kills {executor.get('workers_killed_heartbeat', 0)}",
+        ]
+        parts.append("_executor: " + " · ".join(recovery) + "_")
+        parts.append("")
     parts.append("## Experiment blocks")
     parts.append("")
     for experiment_id in ids:

@@ -298,6 +298,51 @@ class TestMetricRegistered:
         assert _rule_hits(source, rules=["metric-registered"]) == []
 
 
+class TestNoBarePool:
+    def test_flags_pool_import_and_construction(self):
+        source = (
+            "from multiprocessing import Pool\n"
+            "import multiprocessing\n"
+            "with Pool(4) as pool:\n"
+            "    pass\n"
+            "other = multiprocessing.Pool(2)\n"
+        )
+        hits = _rule_hits(source, rules=["no-bare-pool"])
+        assert [line for _, line in hits] == [1, 3, 5]
+        assert all(rule_id == "no-bare-pool" for rule_id, _ in hits)
+
+    def test_flags_aliased_import(self):
+        source = (
+            "from multiprocessing.pool import Pool as ProcPool\n"
+            "p = ProcPool(2)\n"
+        )
+        hits = _rule_hits(source, rules=["no-bare-pool"])
+        assert [line for _, line in hits] == [1, 2]
+
+    def test_supervisor_module_is_exempt(self):
+        source = (
+            "from multiprocessing import Pool\n"
+            "pool = Pool(4)\n"
+        )
+        path = "src/repro/experiments/supervisor.py"
+        assert _rule_hits(source, path, rules=["no-bare-pool"]) == []
+
+    def test_other_multiprocessing_use_is_fine(self):
+        source = (
+            "import multiprocessing\n"
+            "q = multiprocessing.Queue()\n"
+            "p = multiprocessing.Process(target=print)\n"
+        )
+        assert _rule_hits(source, rules=["no-bare-pool"]) == []
+
+    def test_allow_comment_suppresses(self):
+        source = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Pool(2)  # repro: allow(no-bare-pool)\n"
+        )
+        assert _rule_hits(source, rules=["no-bare-pool"]) == []
+
+
 class TestRegistry:
     def test_every_advertised_rule_is_registered(self):
         expected = {
@@ -308,6 +353,7 @@ class TestRegistry:
             "policy-registered",
             "experiment-registered",
             "fault-declares-injection",
+            "no-bare-pool",
             "metric-registered",
         }
         assert expected <= set(RULE_REGISTRY)

@@ -1,0 +1,65 @@
+"""Unit tests for durable atomic writes and artifact quarantine."""
+
+import os
+
+from repro.common.atomicio import (
+    atomic_write_text,
+    fsync_directory,
+    quarantine_file,
+)
+
+
+class TestAtomicWriteText:
+    def test_creates_file_with_exact_content(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(str(path), '{"a": 1}')
+        assert path.read_text() == '{"a": 1}'
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        path.write_text("old")
+        atomic_write_text(str(path), "new")
+        assert path.read_text() == "new"
+
+    def test_leaves_no_temp_file_behind(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(str(path), "content")
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_relative_path_in_cwd(self, tmp_path, monkeypatch):
+        # The directory fsync resolves a bare filename to the cwd
+        # rather than fsyncing the empty string.
+        monkeypatch.chdir(tmp_path)
+        atomic_write_text("bare.json", "x")
+        assert (tmp_path / "bare.json").read_text() == "x"
+
+
+class TestQuarantineFile:
+    def test_moves_to_corrupt_and_returns_path(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text("damaged bytes")
+        corrupt = quarantine_file(str(path))
+        assert corrupt == str(path) + ".corrupt"
+        assert not path.exists()
+        assert (tmp_path / "artifact.json.corrupt").read_text() == (
+            "damaged bytes"
+        )
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert quarantine_file(str(tmp_path / "never-existed")) is None
+
+    def test_replaces_previous_quarantine(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        (tmp_path / "artifact.json.corrupt").write_text("older corpse")
+        path.write_text("newer corpse")
+        quarantine_file(str(path))
+        assert (tmp_path / "artifact.json.corrupt").read_text() == (
+            "newer corpse"
+        )
+
+
+class TestFsyncDirectory:
+    def test_tolerates_unsyncable_path(self):
+        # Must degrade gracefully, never raise.
+        fsync_directory("/definitely/not/a/real/directory")
+        fsync_directory("")

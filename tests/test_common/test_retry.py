@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.common.retry import retry_with_backoff
+from repro.common.rng import make_rng
+from repro.common.retry import full_jitter, retry_with_backoff
 
 
 class TestRetryWithBackoff:
@@ -98,3 +99,80 @@ class TestRetryWithBackoff:
             fn, attempts=3, base_delay=0.0, sleep=sleeps.append
         )
         assert sleeps == []
+
+
+class TestFullJitter:
+    def test_draw_is_within_bounds(self):
+        rng = make_rng(1)
+        for delay in (0.01, 0.5, 2.0):
+            for _ in range(50):
+                drawn = full_jitter(delay, rng)
+                assert 0.0 <= drawn <= delay
+
+    def test_zero_or_negative_delay_is_zero(self):
+        rng = make_rng(1)
+        assert full_jitter(0.0, rng) == 0.0
+        assert full_jitter(-1.0, rng) == 0.0
+
+    def test_is_seeded_and_reproducible(self):
+        a = [full_jitter(1.0, make_rng(7)) for _ in range(1)]
+        b = [full_jitter(1.0, make_rng(7)) for _ in range(1)]
+        assert a == b
+
+    def test_jittered_backoff_stays_under_deterministic_schedule(self):
+        sleeps = []
+
+        def fn(attempt):
+            raise ValueError("always")
+
+        with pytest.raises(ValueError):
+            retry_with_backoff(
+                fn,
+                attempts=5,
+                base_delay=0.1,
+                max_delay=0.3,
+                sleep=sleeps.append,
+                jitter=42,
+            )
+        # Same schedule shape as the deterministic test above, but each
+        # sleep is drawn uniformly from [0, bounded delay].
+        assert len(sleeps) == 4
+        for drawn, bound in zip(sleeps, [0.1, 0.2, 0.3, 0.3]):
+            assert 0.0 <= drawn <= bound
+        # And not accidentally deterministic: the draws differ.
+        assert len(set(sleeps)) > 1
+
+    def test_jitter_accepts_an_rng_instance(self):
+        sleeps = []
+
+        def fn(attempt):
+            if attempt == 0:
+                raise ValueError("flaky")
+            return "ok"
+
+        result = retry_with_backoff(
+            fn,
+            attempts=2,
+            base_delay=0.5,
+            sleep=sleeps.append,
+            jitter=make_rng(3),
+        )
+        assert result == "ok"
+        assert len(sleeps) == 1
+        assert 0.0 <= sleeps[0] <= 0.5
+
+    def test_without_jitter_schedule_is_unchanged(self):
+        sleeps = []
+
+        def fn(attempt):
+            raise ValueError("always")
+
+        with pytest.raises(ValueError):
+            retry_with_backoff(
+                fn,
+                attempts=3,
+                base_delay=0.1,
+                max_delay=1.0,
+                sleep=sleeps.append,
+            )
+        assert sleeps == [0.1, 0.2]

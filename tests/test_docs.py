@@ -211,6 +211,7 @@ class TestCliFlagDrift:
             "docs/ANALYSIS.md",
             "docs/PERFORMANCE.md",
             "docs/FAULTS.md",
+            "docs/RESILIENCE.md",
         ],
     )
     def test_documented_repro_flags_exist(self, name):
@@ -224,7 +225,9 @@ class TestCliFlagDrift:
     def test_readme_documents_the_runner_flags(self):
         text = _read("README.md")
         for flag in ("--jobs", "--engine", "--sanitize", "--trace",
-                     "--timeout", "--retries", "--checkpoint"):
+                     "--timeout", "--retries", "--checkpoint",
+                     "--max-task-crashes", "--heartbeat-interval",
+                     "--drain-timeout"):
             assert flag in text, f"README.md CLI section lacks {flag}"
 
     def test_parser_exposes_report_subcommand(self):

@@ -1,0 +1,266 @@
+"""Seeded chaos suite: prove the recovery machinery, don't trust it.
+
+The acceptance bar (ISSUE 5): a batch of 20 experiments run under
+worker kills *and* checkpoint truncation completes with results
+bit-identical to an undisturbed sequential run, poison tasks surface as
+structured failures, and no corrupt artifact is ever loaded.  All chaos
+is derived from seeds, so these tests fail reproducibly or not at all.
+
+Experiment functions are built with ``functools.partial`` over a
+module-level function so ``multiprocessing`` can pickle them into
+worker processes.
+"""
+
+import json
+from functools import partial
+
+import pytest
+
+from repro.common.errors import CheckpointCorruptWarning
+from repro.common.rng import make_rng
+from repro.experiments.base import ExperimentResult
+from repro.experiments.chaos import (
+    CHAOS_EXIT_CODE,
+    ChaosConfig,
+    ChaosDecision,
+    bit_flip_file,
+    truncate_file,
+)
+from repro.experiments.runner import ExperimentRunner
+
+EXP_IDS = [f"exp{i:02d}" for i in range(20)]
+
+
+def run_seeded(experiment_id, rng: int = 11):
+    """A deterministic toy experiment: rows derive from (id, seed) only."""
+    gen = make_rng(rng + sum(ord(c) for c in experiment_id))
+    rows = [[i, gen.randrange(10_000)] for i in range(4)]
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"chaos probe {experiment_id}",
+        columns=["i", "draw"],
+        rows=rows,
+    )
+
+
+def make_registry():
+    return {
+        experiment_id: partial(run_seeded, experiment_id)
+        for experiment_id in EXP_IDS
+    }
+
+
+def pick_survivable_seed(ids, config_kwargs, max_task_crashes):
+    """A chaos seed under which no task is ever quarantined.
+
+    Decisions are pure functions of (seed, task, attempt), so the test
+    can prove *up front* that every task survives within its crash
+    budget — the suite asserts full completion, not luck.
+    """
+    for seed in range(200):
+        config = ChaosConfig(seed=seed, **config_kwargs)
+        survivable = all(
+            any(
+                not config.decide(task_id, attempt).kill_before_run
+                and not config.decide(task_id, attempt).kill_before_report
+                for attempt in range(max_task_crashes)
+            )
+            for task_id in ids
+        )
+        some_kill = any(
+            config.decide(task_id, 0).kill_before_run
+            or config.decide(task_id, 0).kill_before_report
+            for task_id in ids
+        )
+        if survivable and some_kill:
+            return seed
+    raise AssertionError("no survivable chaos seed in range")
+
+
+class TestChaosConfig:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(kill_before_run=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(stall_heartbeat=-0.1)
+        with pytest.raises(ValueError):
+            ChaosConfig(stall_seconds=-1.0)
+
+    def test_decisions_are_deterministic(self):
+        config = ChaosConfig(
+            seed=7, kill_before_run=0.5, kill_before_report=0.5
+        )
+        decisions = [config.decide("task", attempt) for attempt in range(20)]
+        again = [config.decide("task", attempt) for attempt in range(20)]
+        assert decisions == again
+        # and not degenerate: both outcomes occur across attempts
+        assert any(d.kill_before_run for d in decisions)
+        assert any(not d.kill_before_run for d in decisions)
+
+    def test_decisions_vary_by_attempt(self):
+        # Retries draw fresh decisions — a killed task converges.
+        config = ChaosConfig(seed=3, kill_before_run=0.5)
+        assert len(
+            {config.decide("t", a).kill_before_run for a in range(20)}
+        ) == 2
+
+    def test_only_tasks_gates_chaos(self):
+        config = ChaosConfig(
+            seed=1, kill_before_run=1.0, only_tasks=("victim",)
+        )
+        assert config.decide("victim", 0).kill_before_run
+        assert config.decide("bystander", 0) == ChaosDecision()
+
+    def test_round_trips_through_dict(self):
+        config = ChaosConfig(
+            seed=5,
+            kill_before_run=0.25,
+            stall_heartbeat=0.5,
+            stall_seconds=2.0,
+            only_tasks=("a", "b"),
+        )
+        assert ChaosConfig.from_dict(config.to_dict()) == config
+
+    def test_chaos_exit_code_is_distinctive(self):
+        assert CHAOS_EXIT_CODE == 86
+        assert CHAOS_EXIT_CODE not in (0, 1, 2)
+
+
+class TestArtifactCorruption:
+    def test_truncate_file(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_bytes(b"x" * 100)
+        kept = truncate_file(str(path), keep_fraction=0.3)
+        assert kept == 30
+        assert path.stat().st_size == 30
+
+    def test_truncate_to_empty(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_bytes(b"x" * 10)
+        assert truncate_file(str(path), keep_fraction=0.0) == 0
+        assert path.read_bytes() == b""
+
+    def test_truncate_validates_fraction(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_bytes(b"x")
+        with pytest.raises(ValueError):
+            truncate_file(str(path), keep_fraction=1.0)
+
+    def test_bit_flip_changes_exactly_one_bit(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        original = bytes(range(64))
+        path.write_bytes(original)
+        offset = bit_flip_file(str(path), seed=9)
+        flipped = path.read_bytes()
+        assert len(flipped) == len(original)
+        diff = [i for i in range(64) if flipped[i] != original[i]]
+        assert diff == [offset]
+        assert bin(flipped[offset] ^ original[offset]).count("1") == 1
+
+    def test_bit_flip_is_seeded(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        for path in (a, b):
+            path.write_bytes(b"y" * 128)
+        assert bit_flip_file(str(a), seed=4) == bit_flip_file(str(b), seed=4)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_bit_flip_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            bit_flip_file(str(path))
+
+
+class TestChaosAcceptance:
+    """The headline guarantees, proven end to end through the runner."""
+
+    def test_batch_survives_kills_and_truncation_bit_identically(
+        self, tmp_path
+    ):
+        baseline = ExperimentRunner(retries=0, registry=make_registry())
+        expected = [
+            r.to_dict() for r in baseline.run_many(EXP_IDS).results
+        ]
+
+        # Populate a checkpoint with the first few results, then tear it
+        # the way a power loss mid-write would.
+        checkpoint = tmp_path / "progress.json"
+        ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        ).run_many(EXP_IDS[:5])
+        truncate_file(str(checkpoint), keep_fraction=0.6)
+
+        kwargs = {"kill_before_run": 0.2, "kill_before_report": 0.1}
+        seed = pick_survivable_seed(EXP_IDS, kwargs, max_task_crashes=3)
+        runner = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+            max_task_crashes=3,
+            heartbeat_interval=0.1,
+            chaos=ChaosConfig(seed=seed, **kwargs),
+        )
+        with pytest.warns(CheckpointCorruptWarning, match="quarantined"):
+            report = runner.run_many(EXP_IDS, jobs=2)
+
+        # The torn checkpoint was detected and quarantined, not loaded.
+        assert report.resumed == []
+        assert (tmp_path / "progress.json.corrupt").exists()
+        assert runner.corrupt_artifacts_detected == 1
+        # Chaos actually struck, and recovery still produced the exact
+        # sequential results, in order, with nothing quarantined.
+        assert not runner.executor_stats.clean
+        assert runner.executor_stats.workers_crashed > 0
+        assert report.failures == []
+        assert [r.to_dict() for r in report.results] == expected
+        # The rewritten checkpoint is a valid v2 envelope again.
+        envelope = json.loads(checkpoint.read_text())
+        assert envelope["version"] == 2
+        assert sorted(envelope["data"]["results"]) == sorted(EXP_IDS)
+
+    def test_poison_task_is_a_structured_failure_not_a_batch_abort(self):
+        runner = ExperimentRunner(
+            retries=0,
+            registry=make_registry(),
+            max_task_crashes=2,
+            heartbeat_interval=0.1,
+            chaos=ChaosConfig(
+                seed=0, kill_before_run=1.0, only_tasks=("exp07",)
+            ),
+        )
+        report = runner.run_many(EXP_IDS, jobs=2)
+        assert [f.experiment_id for f in report.failures] == ["exp07"]
+        failure = report.failures[0]
+        assert failure.error_type == "WorkerCrashed"
+        assert "quarantined" in failure.message
+        assert failure.attempts == 2
+        assert runner.executor_stats.tasks_quarantined == 1
+        completed = [r.experiment_id for r in report.results]
+        assert completed == [i for i in EXP_IDS if i != "exp07"]
+
+    def test_bit_flipped_checkpoint_is_detected_and_recomputed(
+        self, tmp_path
+    ):
+        checkpoint = tmp_path / "progress.json"
+        first = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        )
+        expected = [
+            r.to_dict() for r in first.run_many(EXP_IDS[:6]).results
+        ]
+        bit_flip_file(str(checkpoint), seed=13)
+
+        runner = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        )
+        with pytest.warns(CheckpointCorruptWarning):
+            report = runner.run_many(EXP_IDS[:6])
+        assert report.resumed == []  # the corrupt file was never trusted
+        assert (tmp_path / "progress.json.corrupt").exists()
+        assert [r.to_dict() for r in report.results] == expected

@@ -6,10 +6,14 @@ use freely, cannot cross a process boundary).
 """
 
 import json
+import signal
+import time
 
 import pytest
 
+from repro.common.errors import CheckpointCorruptWarning
 from repro.experiments.base import ExperimentResult
+from repro.experiments.chaos import schedule_signal, truncate_file
 from repro.experiments.runner import ExperimentRunner, _pool_worker
 
 IDS = ["alpha", "beta", "gamma", "delta"]
@@ -52,6 +56,14 @@ def make_registry():
         "gamma": run_gamma,
         "delta": run_delta,
     }
+
+
+def checkpoint_payload(path):
+    """Unwrap a v2 checkpoint envelope, asserting its shape on the way."""
+    envelope = json.loads(path.read_text())
+    assert envelope["version"] == 2
+    assert envelope["checksum"].startswith("sha256:")
+    return envelope["data"]
 
 
 class TestParallelRunMany:
@@ -118,7 +130,7 @@ class TestParallelRunMany:
             registry=make_registry(),
         ).run_many(IDS, jobs=2)
         assert first.ok
-        data = json.loads(checkpoint.read_text())
+        data = checkpoint_payload(checkpoint)
         assert sorted(data["results"]) == sorted(IDS)
         # Second run restores everything: even a registry of bombs never
         # gets called.
@@ -152,6 +164,158 @@ class TestParallelRunMany:
         )
         report = runner.run_many(["solo"], jobs=8)
         assert [r.experiment_id for r in report.results] == ["solo"]
+
+
+SLOW_IDS = [f"slow{i}" for i in range(6)]
+
+
+def run_slow(experiment_id, rng: int = 5):
+    # Slow enough that a mid-batch SIGINT reliably interrupts, seeded so
+    # re-runs are bit-identical.
+    time.sleep(0.35)
+    return _result(experiment_id, rows=[[rng, experiment_id]])
+
+
+def make_slow_registry():
+    from functools import partial
+
+    return {
+        experiment_id: partial(run_slow, experiment_id)
+        for experiment_id in SLOW_IDS
+    }
+
+
+class TestResumeSemantics:
+    """SIGINT mid-batch → checkpoint flushed → re-run completes the
+    remainder, and the union is bit-identical to an undisturbed run."""
+
+    def test_sigint_then_rerun_is_bit_identical(self, tmp_path):
+        expected = [
+            r.to_dict()
+            for r in ExperimentRunner(
+                retries=0, registry=make_slow_registry()
+            )
+            .run_many(SLOW_IDS)
+            .results
+        ]
+
+        checkpoint = tmp_path / "progress.json"
+        first = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_slow_registry(),
+            heartbeat_interval=0.1,
+            drain_timeout=10.0,
+        )
+        timer = schedule_signal(0.4, signal.SIGINT)
+        try:
+            interrupted = first.run_many(SLOW_IDS, jobs=2)
+        finally:
+            timer.cancel()
+        assert interrupted.interrupted
+        assert not interrupted.ok
+        assert interrupted.unfinished
+        assert "unfinished" in interrupted.summary()
+        done = {r.experiment_id for r in interrupted.results}
+        assert set(interrupted.unfinished) == set(SLOW_IDS) - done
+        # Everything that finished made it into the flushed checkpoint.
+        saved = checkpoint_payload(checkpoint)
+        assert sorted(saved["results"]) == sorted(done)
+
+        second = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_slow_registry(),
+        )
+        resumed = second.run_many(SLOW_IDS, jobs=2)
+        assert resumed.ok
+        assert not resumed.interrupted
+        assert sorted(resumed.resumed) == sorted(done)
+        assert [r.to_dict() for r in resumed.results] == expected
+
+
+class TestDurableCheckpoints:
+    def test_truncated_checkpoint_quarantined_and_counted(self, tmp_path):
+        checkpoint = tmp_path / "progress.json"
+        ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        ).run_many(IDS)
+        truncate_file(str(checkpoint), keep_fraction=0.5)
+        runner = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+            observe=True,
+        )
+        with pytest.warns(CheckpointCorruptWarning, match="quarantined"):
+            report = runner.run_many(IDS, jobs=2)
+        assert report.ok
+        assert report.resumed == []
+        assert (tmp_path / "progress.json.corrupt").exists()
+        assert runner.corrupt_artifacts_detected == 1
+        # The detection is catalogued as a batch-level metric.
+        counters = runner.batch_metrics["counters"]
+        assert counters["checkpoint.corrupt.detected"] == 1
+
+    def test_legacy_checkpoint_migrates_to_envelope_on_load(self, tmp_path):
+        checkpoint = tmp_path / "progress.json"
+        # Write the PR 3/4 unversioned format by hand: payload at the
+        # top level, no envelope, no checksum.
+        legacy = {
+            "results": {
+                "alpha": _result("alpha").to_dict(),
+                "beta": _result("beta", rows=[[2]]).to_dict(),
+            },
+            "obs": {},
+        }
+        checkpoint.write_text(json.dumps(legacy))
+        runner = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        )
+        report = runner.run_many(IDS)
+        assert sorted(report.resumed) == ["alpha", "beta"]
+        assert report.ok
+        # One-step migration: the file is now a v2 envelope carrying
+        # both the restored and the new results.
+        data = checkpoint_payload(checkpoint)
+        assert sorted(data["results"]) == sorted(IDS)
+        # And it restores through the checksummed path next time.
+        again = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        ).run_many(IDS)
+        assert sorted(again.resumed) == sorted(IDS)
+
+    def test_unsupported_future_version_is_quarantined(self, tmp_path):
+        checkpoint = tmp_path / "progress.json"
+        checkpoint.write_text(
+            '{"version": 99, "checksum": "sha256:00", "data": {}}'
+        )
+        runner = ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        )
+        with pytest.warns(CheckpointCorruptWarning, match="version"):
+            report = runner.run_many(IDS)
+        assert report.ok
+        assert report.resumed == []
+        assert (tmp_path / "progress.json.corrupt").exists()
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        checkpoint = tmp_path / "progress.json"
+        ExperimentRunner(
+            retries=0,
+            checkpoint_path=str(checkpoint),
+            registry=make_registry(),
+        ).run_many(IDS, jobs=2)
+        assert not (tmp_path / "progress.json.tmp").exists()
+        assert checkpoint.exists()
 
 
 class TestPoolWorker:
@@ -232,7 +396,7 @@ class TestCheckpointCosts:
             checkpoint_path=str(checkpoint),
             registry=make_registry(),
         ).run_many(IDS)
-        data = json.loads(checkpoint.read_text())
+        data = checkpoint_payload(checkpoint)
         restored = {
             experiment_id: ExperimentResult.from_dict(entry)
             for experiment_id, entry in data["results"].items()

@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.common.errors import ExperimentTimeout
+from repro.common.errors import CheckpointCorruptWarning, ExperimentTimeout
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import (
     ExperimentFailure,
@@ -163,7 +163,8 @@ class TestCheckpointing:
             retries=0, checkpoint_path=checkpoint, registry=registry
         ).run_many(["a", "b"])
         assert not report.ok
-        saved = json.loads((tmp_path / "progress.json").read_text())
+        envelope = json.loads((tmp_path / "progress.json").read_text())
+        saved = envelope["data"]
         assert list(saved["results"]) == ["a"]  # failure not checkpointed
 
         registry["b"] = lambda: _result("b")
@@ -177,11 +178,15 @@ class TestCheckpointing:
         checkpoint = tmp_path / "progress.json"
         checkpoint.write_text("{ not json")
         registry = {"a": lambda: _result("a")}
-        report = ExperimentRunner(
-            retries=0, checkpoint_path=str(checkpoint), registry=registry
-        ).run_many(["a"])
+        with pytest.warns(CheckpointCorruptWarning, match="quarantined"):
+            report = ExperimentRunner(
+                retries=0, checkpoint_path=str(checkpoint), registry=registry
+            ).run_many(["a"])
         assert report.ok
         assert report.resumed == []
+        # The bad file was moved aside for inspection, never overwritten
+        # in place or silently discarded.
+        assert (tmp_path / "progress.json.corrupt").read_text() == "{ not json"
 
 
 class TestResultSerialization:

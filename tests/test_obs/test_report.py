@@ -1,11 +1,12 @@
 """Report rendering: blocks, summaries, JSONL parsing, golden output."""
 
+import hashlib
 import json
 import os
 
 import pytest
 
-from repro.common.errors import ObservabilityError
+from repro.common.errors import CheckpointCorruptWarning, ObservabilityError
 from repro.experiments.base import ExperimentResult
 from repro.obs.catalog import catalog_markdown
 from repro.obs.manifest import RunManifest
@@ -140,17 +141,103 @@ class TestReadRecords:
         )
         assert read_records(str(path)) == records
 
-    def test_bad_json_reports_line(self, tmp_path):
+    def test_bad_json_reports_line_and_quarantines(self, tmp_path):
         path = tmp_path / "run.jsonl"
         path.write_text('{"type": "run"}\nnot json\n')
-        with pytest.raises(ObservabilityError, match=":2:"):
-            read_records(str(path))
+        with pytest.warns(CheckpointCorruptWarning):
+            with pytest.raises(ObservabilityError, match=":2:"):
+                read_records(str(path))
+        assert not path.exists()
+        assert (tmp_path / "run.jsonl.corrupt").exists()
 
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "run.jsonl"
         path.write_text("\n")
         with pytest.raises(ObservabilityError, match="empty trace"):
             read_records(str(path))
+
+
+def _footered_trace(records):
+    """Serialize records the way the runner writes a v2 trace."""
+    body = "\n".join(json.dumps(r) for r in records) + "\n"
+    digest = "sha256:" + hashlib.sha256(body.encode("utf-8")).hexdigest()
+    footer = json.dumps(
+        {
+            "type": "trace-footer",
+            "trace_version": 2,
+            "records": len(records),
+            "checksum": digest,
+        }
+    )
+    return body + footer + "\n"
+
+
+class TestTraceFooter:
+    def test_valid_footer_verified_and_stripped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        records = sample_records()
+        path.write_text(_footered_trace(records))
+        assert read_records(str(path)) == records
+
+    def test_footerless_legacy_trace_still_reads(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        records = sample_records()
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        assert read_records(str(path)) == records
+
+    def test_tampered_body_is_detected_and_quarantined(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        text = _footered_trace(sample_records())
+        path.write_text(text.replace('"jobs": 1', '"jobs": 8'))
+        with pytest.warns(CheckpointCorruptWarning, match="checksum"):
+            with pytest.raises(ObservabilityError, match="checksum"):
+                read_records(str(path))
+        assert not path.exists()
+        assert (tmp_path / "run.jsonl.corrupt").exists()
+
+    def test_truncated_record_is_detected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        text = _footered_trace(sample_records())
+        # Tear the file mid-record, the way a torn write would.
+        path.write_text(text[: len(text) // 2])
+        with pytest.warns(CheckpointCorruptWarning):
+            with pytest.raises(ObservabilityError):
+                read_records(str(path))
+        assert (tmp_path / "run.jsonl.corrupt").exists()
+
+    def test_footer_only_file_is_empty(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        body = ""
+        digest = (
+            "sha256:" + hashlib.sha256(body.encode("utf-8")).hexdigest()
+        )
+        path.write_text(
+            json.dumps({"type": "trace-footer", "checksum": digest}) + "\n"
+        )
+        with pytest.raises(ObservabilityError, match="empty trace"):
+            read_records(str(path))
+
+    def test_executor_stats_rendered_from_header(self):
+        records = sample_records()
+        records[0] = dict(
+            records[0],
+            executor={
+                "workers_spawned": 2,
+                "workers_crashed": 3,
+                "workers_killed_deadline": 1,
+                "workers_killed_heartbeat": 0,
+                "tasks_requeued": 2,
+                "tasks_quarantined": 1,
+            },
+        )
+        rendered = render_report(records)
+        assert (
+            "_executor: crashed 3 · requeued 2 · quarantined 1 · "
+            "deadline-kills 1 · heartbeat-kills 0_" in rendered
+        )
+
+    def test_no_executor_line_without_header_stats(self):
+        assert "_executor:" not in render_report(sample_records())
 
 
 class TestGoldenReport:

@@ -78,7 +78,7 @@ class TestCheckpointRoundTrip:
         first = ExperimentRunner(observe=True, checkpoint_path=checkpoint)
         assert first.run_many(["table2"]).ok
         with open(checkpoint) as handle:
-            data = json.load(handle)
+            data = json.load(handle)["data"]
         assert "table2" in data["obs"]
 
         second = ExperimentRunner(observe=True, checkpoint_path=checkpoint)

@@ -23,7 +23,13 @@ every check works on *ratios*, which are host-relative:
   ``--max-exec-overhead`` (default 10%) — or, when the committed
   baseline already records an overhead, ``--tolerance`` above that
   baseline, whichever ceiling is higher (shared-runner noise on a
-  ~1.0x ratio is proportionally large).
+  ~1.0x ratio is proportionally large);
+* every service benchmark (``workload == "service-loadgen"`` in
+  ``extra_info``, from ``benchmarks/test_bench_service.py``) must
+  record a positive ``p99_ms`` tail latency and a cold-cache
+  ``hit_rate`` at or above ``--min-hit-rate`` (default 0.5) — the hit
+  rate is a seeded property of the schedule, so unlike wall-clock it
+  is comparable across hosts and policed as an absolute floor.
 
 Exit code 0 when every check passes, 1 otherwise.
 """
@@ -70,6 +76,15 @@ def exec_overheads(means):
         workload: executors["supervised"] / executors["pool"]
         for workload, executors in by_workload.items()
         if "pool" in executors and "supervised" in executors
+    }
+
+
+def service_reports(means):
+    """bench name -> extra_info, for service loadgen benchmarks."""
+    return {
+        name: extra
+        for name, (mean, extra) in means.items()
+        if extra.get("workload") == "service-loadgen"
     }
 
 
@@ -138,6 +153,13 @@ def main(argv=None):
         help="absolute budget for supervised-executor overhead over the "
         "bare Pool (default: %(default)s)",
     )
+    parser.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=0.5,
+        help="absolute floor for the service bench's cold-cache hit rate "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     current_means = load_means(args.current)
@@ -146,8 +168,11 @@ def main(argv=None):
     baseline = speedups(baseline_means)
     current_exec = exec_overheads(current_means)
     baseline_exec = exec_overheads(baseline_means)
-    if not current and not current_exec:
-        print("no paired engine or executor benchmarks in the current run")
+    current_service = service_reports(current_means)
+    if not current and not current_exec and not current_service:
+        print(
+            "no engine, executor, or service benchmarks in the current run"
+        )
         return 1
 
     failed = False
@@ -180,6 +205,22 @@ def main(argv=None):
         line += ")"
         if overhead > ceiling:
             line += "  REGRESSION"
+            failed = True
+        print(line)
+
+    for name in sorted(current_service):
+        extra = current_service[name]
+        hit_rate = extra.get("hit_rate")
+        p99_ms = extra.get("p99_ms")
+        line = f"{name}: cold hit rate {hit_rate}, p99 {p99_ms} ms"
+        if not isinstance(p99_ms, (int, float)) or p99_ms <= 0:
+            line += "  P99 NOT RECORDED"
+            failed = True
+        if (
+            not isinstance(hit_rate, (int, float))
+            or hit_rate < args.min_hit_rate
+        ):
+            line += f"  BELOW HIT-RATE FLOOR {args.min_hit_rate:.2f}"
             failed = True
         print(line)
 

@@ -18,6 +18,16 @@ Subcommands:
   catalogue; ``--update-doc``/``--check-doc`` maintain the generated
   table in ``docs/OBSERVABILITY.md``.
 * ``demo`` — the quickstart byte transfer, for a 10-second sanity check.
+* ``serve`` — run the fault-tolerant experiment service: a line-JSON
+  TCP front end with admission control, bounded per-pool queues,
+  circuit breakers, and a checksummed result cache that keeps serving
+  (tagged ``degraded``) when a pool is down.  SIGINT/SIGTERM drain
+  gracefully: in-flight requests finish and the cache is flushed, so
+  reconnecting clients get bit-identical results.  See
+  ``docs/SERVICE.md``.
+* ``request`` — one client request against a running service
+  (``run`` an experiment, ``--ping``, or ``--stats``); prints the
+  JSON response.
 
 Both ``run`` and ``demo`` accept ``--sanitize``: every machine built
 during the run is wrapped in the invariant-checking proxies of
@@ -189,6 +199,114 @@ def _cmd_demo(sanitize: bool = False, engine: str = None) -> int:
     return 0 if decoded == message else 1
 
 
+def _cmd_serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    pools: int = 2,
+    queue_depth: int = 8,
+    rate: float = 200.0,
+    burst: int = 50,
+    backend: str = "inline",
+    timeout: float = None,
+    retries: int = 1,
+    sanitize: bool = False,
+    cache_dir: str = "service-cache",
+    drain_timeout: float = 10.0,
+    seed: int = 0,
+    engine: str = None,
+) -> int:
+    if engine is not None:
+        from repro.sim.fastpath import set_default_engine
+
+        set_default_engine(engine)
+    import asyncio
+    import signal
+
+    from repro.common.errors import ServiceError
+    from repro.service.server import ExperimentService, ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            host=host,
+            port=port,
+            pools=pools,
+            queue_depth=queue_depth,
+            rate=rate,
+            burst=burst,
+            backend=backend,
+            timeout_seconds=timeout,
+            retries=retries,
+            sanitize=sanitize,
+            cache_dir=cache_dir,
+            drain_timeout=drain_timeout,
+            seed=seed,
+        )
+    except ServiceError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        service = ExperimentService(config)
+        await service.start()
+        print(f"serving on {config.host}:{service.port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await service.serve_until(stop)
+        print("drained: in-flight requests finished, cache flushed")
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_request(
+    experiment_id: str = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    deadline_ms: float = None,
+    refresh: bool = False,
+    ping: bool = False,
+    stats: bool = False,
+    timeout: float = 30.0,
+) -> int:
+    import json
+
+    from repro.common.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    if port < 1:
+        print("request: --port is required (see `serve` output)",
+              file=sys.stderr)
+        return 2
+    if not (ping or stats) and not experiment_id:
+        print("request: need an experiment id (or --ping/--stats)",
+              file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(host, port, timeout=timeout) as client:
+            if ping:
+                response = client.ping()
+            elif stats:
+                response = client.stats()
+            else:
+                response = client.request(
+                    experiment_id,
+                    deadline_ms=deadline_ms,
+                    refresh=refresh,
+                )
+    except (OSError, ServiceError) as error:
+        print(f"request: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    if response.get("status") in ("ok", "pong", "stats"):
+        return 0
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed so docs tests can audit flags)."""
     parser = argparse.ArgumentParser(
@@ -311,6 +429,159 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if the doc's generated catalogue section "
         "is stale (the CI docs-drift gate)",
     )
+    serve_parser = sub.add_parser(
+        "serve", help="run the fault-tolerant experiment service"
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 picks a free one and prints it (default: 0)",
+    )
+    serve_parser.add_argument(
+        "--pools",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker pools; requests shard across them by experiment "
+        "id so one wedged pool cannot absorb everything (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bound of each pool's request queue; a full queue sheds "
+        "the request with a retry hint (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        metavar="R",
+        help="admission-control token refill rate, requests/second "
+        "(default: 200)",
+    )
+    serve_parser.add_argument(
+        "--burst",
+        type=int,
+        default=50,
+        metavar="N",
+        help="admission-control burst allowance (default: 50)",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        choices=["inline", "supervised"],
+        default="inline",
+        help="'inline' runs experiments in the pool thread; "
+        "'supervised' runs each in a supervised worker process that "
+        "survives crashes and SIGKILL (default: inline)",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per execution attempt (default: none)",
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts per failing execution (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run executions with the runtime sanitizer armed",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default="service-cache",
+        metavar="PATH",
+        help="directory of the durable, checksummed result cache "
+        "(default: service-cache)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGINT/SIGTERM, let in-flight requests finish for "
+        "this long before stopping their pools (default: 10.0)",
+    )
+    serve_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="master seed for circuit-breaker probe jitter "
+        "(default: 0)",
+    )
+    serve_parser.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default=None,
+        help="simulation engine for served experiments (default: "
+        "reference, or the REPRO_ENGINE environment variable)",
+    )
+    request_parser = sub.add_parser(
+        "request", help="send one request to a running service"
+    )
+    request_parser.add_argument(
+        "experiment_id",
+        nargs="?",
+        default=None,
+        help="experiment id to run (omit with --ping/--stats)",
+    )
+    request_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="service address (default: 127.0.0.1)",
+    )
+    request_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="service port (required; printed by `serve`)",
+    )
+    request_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="end-to-end budget for this request; the server stops "
+        "retrying (and refuses to start) once it would overrun",
+    )
+    request_parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="bypass the result cache and recompute",
+    )
+    request_parser.add_argument(
+        "--ping",
+        action="store_true",
+        help="liveness check instead of running an experiment",
+    )
+    request_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print service stats (breakers, queues, metrics) instead "
+        "of running an experiment",
+    )
+    request_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="client socket timeout (default: 30.0)",
+    )
     demo_parser = sub.add_parser(
         "demo", help="10-second covert-channel sanity check"
     )
@@ -352,6 +623,34 @@ def main(argv: list = None) -> int:
             catalog=args.catalog,
             update_doc=args.update_doc,
             check_doc=args.check_doc,
+        )
+    if args.command == "serve":
+        return _cmd_serve(
+            host=args.host,
+            port=args.port,
+            pools=args.pools,
+            queue_depth=args.queue_depth,
+            rate=args.rate,
+            burst=args.burst,
+            backend=args.backend,
+            timeout=args.timeout,
+            retries=args.retries,
+            sanitize=args.sanitize,
+            cache_dir=args.cache_dir,
+            drain_timeout=args.drain_timeout,
+            seed=args.seed,
+            engine=args.engine,
+        )
+    if args.command == "request":
+        return _cmd_request(
+            experiment_id=args.experiment_id,
+            host=args.host,
+            port=args.port,
+            deadline_ms=args.deadline_ms,
+            refresh=args.refresh,
+            ping=args.ping,
+            stats=args.stats,
+            timeout=args.timeout,
         )
     return _cmd_demo(sanitize=args.sanitize, engine=args.engine)
 

@@ -56,6 +56,14 @@ Each rule enforces one repo-wide structural invariant:
     enforces this at runtime too, but only on code paths a test
     happens to execute; the lint rule rejects the typo at review time.
 
+``no-unbounded-queue``
+    Every in-process queue (``asyncio.Queue``, ``queue.Queue`` and
+    their Lifo/Priority variants) is constructed with an explicit
+    ``maxsize``.  An unbounded queue is where backpressure goes to
+    die: producers never block, memory grows until the OOM killer
+    makes the load-shedding decision for you.  Multiprocessing queues
+    are exempt (the supervised executor owns and drains them).
+
 Rules register through :func:`rule`; external code can add more the
 same way before calling the engine.
 """
@@ -474,6 +482,60 @@ def check_metric_registered(ctx: FileContext) -> None:
             hint="add a MetricSpec to repro/obs/catalog.py (the registry "
             "would reject this name at runtime anyway)",
         )
+
+
+#: In-process queue classes that accept (and should get) a maxsize.
+_QUEUE_CLASSES = ("Queue", "LifoQueue", "PriorityQueue")
+
+#: Modules whose queue constructors the rule covers.  Multiprocessing
+#: queues are deliberately absent: the supervised executor owns them.
+_QUEUE_MODULES = ("asyncio", "queue")
+
+
+def _has_maxsize(node: ast.Call) -> bool:
+    """True when the queue constructor pins a capacity."""
+    if node.args:
+        return True
+    return any(kw.arg == "maxsize" for kw in node.keywords)
+
+
+@rule(
+    "no-unbounded-queue",
+    description="asyncio/queue Queue constructed without a maxsize bound",
+)
+def check_no_unbounded_queue(ctx: FileContext) -> None:
+    queue_aliases: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module in _QUEUE_MODULES:
+                for alias in node.names:
+                    if alias.name in _QUEUE_CLASSES:
+                        queue_aliases.add(alias.asname or alias.name)
+    for node in ast.walk(ctx.tree):
+        func = node.func if isinstance(node, ast.Call) else None
+        if func is None:
+            continue
+        flagged = False
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _QUEUE_CLASSES
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _QUEUE_MODULES
+        ):
+            # asyncio.Queue(...), queue.Queue(...), queue.LifoQueue(...)
+            flagged = True
+        elif isinstance(func, ast.Name) and func.id in queue_aliases:
+            flagged = True
+        if flagged and not _has_maxsize(node):
+            ctx.report(
+                "no-unbounded-queue",
+                node,
+                "queue constructed without a maxsize: producers will "
+                "never feel backpressure",
+                hint="pass an explicit maxsize (and handle QueueFull by "
+                "shedding), or `# repro: allow(no-unbounded-queue)` "
+                "with a stated reason",
+            )
 
 
 # ----------------------------------------------------------------------

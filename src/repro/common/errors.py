@@ -72,6 +72,17 @@ class WorkerCrashed(ExecutorError):
     """
 
 
+class ServiceError(ReproError):
+    """The experiment service was misused or cannot satisfy a request.
+
+    Examples: serving on a port that is already bound, a client request
+    that is not valid line-delimited JSON, or a response that exceeds
+    the protocol's line-length bound.  Admission-control outcomes
+    (rejected, shed, degraded) are *not* errors — they are structured
+    response statuses on the wire.
+    """
+
+
 class CheckpointCorruptWarning(UserWarning):
     """Warning category for quarantined checkpoint/trace artifacts.
 

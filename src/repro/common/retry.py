@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
+from repro.common.deadline import Deadline
 from repro.common.rng import RngLike, make_rng
 
 T = TypeVar("T")
@@ -44,6 +45,7 @@ def retry_with_backoff(
     sleep: Callable[[float], None] = time.sleep,
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
     jitter: RngLike = None,
+    deadline: Optional[Deadline] = None,
 ) -> T:
     """Call ``fn(attempt)`` until it succeeds, backing off exponentially.
 
@@ -64,6 +66,13 @@ def retry_with_backoff(
             made by :func:`repro.common.rng.make_rng` from this seed
             (or the RNG itself), so parallel workers that fail in
             lockstep do not also retry in lockstep.
+        deadline: Optional overall budget for the whole retry loop.
+            After a failed attempt, if the deadline has expired — or the
+            next backoff sleep would overrun it — the last error is
+            raised instead of retrying, so per-attempt retries compose
+            with an end-to-end deadline instead of exceeding it.  The
+            check happens between attempts only; a running attempt is
+            never interrupted (that is the timeout layer's job).
 
     Returns:
         The first successful ``fn`` result.
@@ -84,10 +93,17 @@ def retry_with_backoff(
         except retry_on as error:
             if attempt == attempts - 1:
                 raise
+            if deadline is not None and deadline.expired:
+                raise
+            bounded = min(delay, max_delay) if delay > 0 else 0.0
+            pause = (
+                full_jitter(bounded, rng) if rng is not None else bounded
+            )
+            if deadline is not None and deadline.would_overrun(pause):
+                raise
             if on_retry is not None:
                 on_retry(attempt, error)
-            if delay > 0:
-                bounded = min(delay, max_delay)
-                sleep(full_jitter(bounded, rng) if rng is not None else bounded)
+            if pause > 0:
+                sleep(pause)
             delay = min(delay * 2, max_delay) if delay > 0 else 0.0
     raise AssertionError("unreachable")  # pragma: no cover

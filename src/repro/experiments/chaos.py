@@ -126,6 +126,76 @@ class ChaosConfig:
         )
 
 
+@dataclass(frozen=True)
+class ServiceChaosConfig:
+    """Seeded fault plan for the experiment service (tests only).
+
+    Extends the worker-level chaos plane to the faults only a long-lived
+    service can exhibit: corrupted cache entries, clients that vanish
+    mid-request, and crash-looping worker pools.  All decisions hash
+    ``(seed, kind, identity)`` with SHA-256 — independent of request
+    ordering and concurrency, so a chaos run replays exactly from its
+    seed.
+
+    Args:
+        seed: Master chaos seed.
+        corrupt_cache: Probability a freshly written cache entry gets
+            one bit flipped on disk (and evicted from memory), forcing
+            the next reader through checksum detection + quarantine.
+        client_disconnect: Probability the load generator abandons a
+            request — sends it, then closes the connection without
+            reading the response — exercising the server's dead-writer
+            path.
+        worker: Optional :class:`ChaosConfig` forwarded to every pool's
+            supervised executor (worker kills, heartbeat stalls).
+    """
+
+    seed: int = 0
+    corrupt_cache: float = 0.0
+    client_disconnect: float = 0.0
+    worker: Optional[ChaosConfig] = None
+
+    def __post_init__(self):
+        for name in ("corrupt_cache", "client_disconnect"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    def _draw(self, kind: str, identity: str) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{kind}:{identity}".encode()
+        ).digest()
+        return make_rng(int.from_bytes(digest[:8], "big")).random()
+
+    def decide_corrupt(self, cache_key: str) -> bool:
+        """Should this just-written cache entry be bit-flipped?"""
+        return self._draw("corrupt-cache", cache_key) < self.corrupt_cache
+
+    def decide_disconnect(self, request_index: int) -> bool:
+        """Should the load generator abandon request ``request_index``?"""
+        return (
+            self._draw("client-disconnect", str(request_index))
+            < self.client_disconnect
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "corrupt_cache": self.corrupt_cache,
+            "client_disconnect": self.client_disconnect,
+            "worker": None if self.worker is None else self.worker.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ServiceChaosConfig":
+        data = dict(data)
+        worker = data.get("worker")
+        data["worker"] = (
+            None if worker is None else ChaosConfig.from_dict(worker)
+        )
+        return cls(**data)
+
+
 def chaos_exit() -> None:  # pragma: no cover - exercised in subprocesses
     """Die the way a crashed worker dies: immediately, skipping cleanup."""
     os._exit(CHAOS_EXIT_CODE)

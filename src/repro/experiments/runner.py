@@ -8,7 +8,10 @@ experiment with:
 * a **wall-clock timeout** — the experiment runs on a worker thread and
   is abandoned (the daemon thread is left to die with the process) if
   it exceeds the budget, surfacing as
-  :class:`~repro.common.errors.ExperimentTimeout`;
+  :class:`~repro.common.errors.ExperimentTimeout`.  The abandoned
+  thread's result slot is *sealed* at the timeout verdict, so a late
+  result is provably discarded (never merged into the checkpoint), and
+  the leak is counted via ``runner.timeouts.leaked_threads``;
 * **retry with seed rotation** — experiments whose run function takes
   an ``rng`` parameter are retried with a different seed each attempt,
   so a run that landed in a pathological noise realization gets a fresh
@@ -54,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.atomicio import atomic_write_text, quarantine_file
+from repro.common.deadline import Deadline
 from repro.common.errors import CheckpointCorruptWarning, ExperimentTimeout
 from repro.common.retry import retry_with_backoff
 from repro.experiments.base import EXPERIMENT_REGISTRY, ExperimentResult
@@ -84,6 +88,40 @@ def _maybe_observe(session: Optional[ObsSession]):
     if session is None:
         return nullcontext()
     return observe(session)
+
+
+class _AttemptBox:
+    """Single-use, sealable result slot shared with a worker thread.
+
+    The timeout path cannot kill a wedged thread — but it *can* make the
+    thread's eventual result unreachable.  The parent seals the box the
+    instant the timeout verdict is reached; a publish after the seal is
+    rejected (returns False) and the value is dropped on the floor, so a
+    late result can never race its way into the checkpoint or overwrite
+    a retry's result.  All transitions happen under one lock, so there
+    is no window where "timed out" and "result accepted" both hold.
+    """
+
+    __slots__ = ("_lock", "_sealed", "_outcome")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sealed = False
+        self._outcome: Dict = {}
+
+    def publish(self, key: str, value) -> bool:
+        """Store the worker's outcome; False means the box was sealed."""
+        with self._lock:
+            if self._sealed:
+                return False
+            self._outcome[key] = value
+            return True
+
+    def seal(self) -> Dict:
+        """Close the box forever and return whatever arrived in time."""
+        with self._lock:
+            self._sealed = True
+            return dict(self._outcome)
 
 
 @dataclass
@@ -329,6 +367,9 @@ class ExperimentRunner:
         #: Corrupt durable artifacts detected (and quarantined) by this
         #: runner — surfaces in the trace header.
         self.corrupt_artifacts_detected = 0
+        #: Worker threads abandoned by a per-attempt timeout (they die
+        #: with the process; their late results are sealed out).
+        self.leaked_timeout_threads = 0
         #: Snapshot of the batch-level (parent-process) metrics of the
         #: last ``run_many`` call, when observability was on: executor
         #: recovery counters, checkpoint corruption detections.
@@ -343,8 +384,21 @@ class ExperimentRunner:
 
     # -- single experiment ---------------------------------------------
 
-    def run_one(self, experiment_id: str) -> ExperimentResult:
+    def run_one(
+        self,
+        experiment_id: str,
+        deadline: Optional[Deadline] = None,
+    ) -> ExperimentResult:
         """Run one experiment through the timeout/retry harness.
+
+        Args:
+            experiment_id: Registered experiment id.
+            deadline: Optional end-to-end budget propagated from the
+                caller (a service request, a CLI flag).  Each attempt's
+                timeout is shrunk to the remaining budget, and the retry
+                loop stops early (raising the last error) once the
+                deadline is blown — the attempt/retry budgets compose
+                with it instead of stacking past it.
 
         Raises whatever the final attempt raised (or
         :class:`ExperimentTimeout`) once retries are exhausted.
@@ -359,7 +413,7 @@ class ExperimentRunner:
             if rng_parameter is not None and index > 0:
                 kwargs["rng"] = self._rotated_seed(rng_parameter, index)
             if not self.observe:
-                return self._run_attempt(experiment_id, fn, kwargs)
+                return self._run_attempt(experiment_id, fn, kwargs, deadline)
             # A fresh session per attempt: counts never bleed between
             # retries, and only the winning attempt's capture survives.
             session = ObsSession(
@@ -369,25 +423,36 @@ class ExperimentRunner:
                 with session.span(
                     "experiment", experiment_id=experiment_id, attempt=index
                 ):
-                    result = self._run_attempt(experiment_id, fn, kwargs)
+                    result = self._run_attempt(
+                        experiment_id, fn, kwargs, deadline
+                    )
             if index > 0:
                 session.metrics.counter("runner.retries").inc(index)
             self._capture(experiment_id, session, rng_parameter, index)
             return result
 
         return retry_with_backoff(
-            attempt, attempts=self.retries + 1, base_delay=0.0
+            attempt,
+            attempts=self.retries + 1,
+            base_delay=0.0,
+            deadline=deadline,
         )
 
     def _run_attempt(
-        self, experiment_id: str, fn: Callable, kwargs: Dict
+        self,
+        experiment_id: str,
+        fn: Callable,
+        kwargs: Dict,
+        deadline: Optional[Deadline] = None,
     ) -> ExperimentResult:
         if self.sanitize:
             from repro.analysis.sanitize import scoped_sanitize
 
             with scoped_sanitize():
-                return self._call_with_timeout(experiment_id, fn, kwargs)
-        return self._call_with_timeout(experiment_id, fn, kwargs)
+                return self._call_with_timeout(
+                    experiment_id, fn, kwargs, deadline
+                )
+        return self._call_with_timeout(experiment_id, fn, kwargs, deadline)
 
     def _capture(
         self,
@@ -442,29 +507,56 @@ class ExperimentRunner:
         return ExperimentRunner._rotated_seed(parameter, attempt)
 
     def _call_with_timeout(
-        self, experiment_id: str, fn: Callable, kwargs: Dict
+        self,
+        experiment_id: str,
+        fn: Callable,
+        kwargs: Dict,
+        deadline: Optional[Deadline] = None,
     ) -> ExperimentResult:
-        if self.timeout_seconds is None:
+        timeout = self.timeout_seconds
+        if deadline is not None:
+            if deadline.expired:
+                raise ExperimentTimeout(
+                    f"experiment {experiment_id!r} not started: "
+                    "end-to-end deadline already expired"
+                )
+            # A deadline always implies *some* per-attempt bound, even
+            # when the runner itself has no timeout configured.
+            timeout = deadline.bound(timeout)
+        if timeout is None:
             return fn(**kwargs)
-        outcome: Dict = {}
+        box = _AttemptBox()
 
         def worker():
             try:
-                outcome["result"] = fn(**kwargs)
+                result = fn(**kwargs)
             except BaseException as error:  # noqa: BLE001 - reported below
-                outcome["error"] = error
+                box.publish("error", error)
+            else:
+                box.publish("result", result)
 
         thread = threading.Thread(
             target=worker, name=f"experiment-{experiment_id}", daemon=True
         )
         thread.start()
-        thread.join(self.timeout_seconds)
-        if thread.is_alive():
+        thread.join(timeout)
+        # Seal *before* inspecting: from this instant any result the
+        # worker produces is provably discarded, closing the race where
+        # an attempt finishes between the join timeout and the verdict.
+        outcome = box.seal()
+        if not outcome:
             # The worker cannot be killed; as a daemon it dies with the
-            # process, and the batch moves on without it.
+            # process, and the batch moves on without it — but the leak
+            # is counted, not silent.
+            self.leaked_timeout_threads += 1
+            session = active()
+            if session is not None:
+                session.metrics.counter(
+                    "runner.timeouts.leaked_threads"
+                ).inc()
             raise ExperimentTimeout(
                 f"experiment {experiment_id!r} exceeded "
-                f"{self.timeout_seconds:.1f}s wall-clock budget"
+                f"{timeout:.1f}s wall-clock budget"
             )
         if "error" in outcome:
             raise outcome["error"]

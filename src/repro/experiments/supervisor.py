@@ -318,6 +318,22 @@ class SupervisedExecutor:
     def draining(self) -> bool:
         return self._drain_requested_at is not None
 
+    def worker_pids(self) -> List[int]:
+        """PIDs of currently live worker processes (empty outside run).
+
+        Exposed for the chaos plane: service-level acceptance tests
+        SIGKILL a pool's worker mid-batch through this, the same way an
+        OOM killer would, and assert the recovery path.
+        """
+        slots = getattr(self, "_slots", None)
+        if not slots:
+            return []
+        return [
+            slot.process.pid
+            for slot in slots
+            if slot.process is not None and slot.process.is_alive()
+        ]
+
     # -- supervisor loop ------------------------------------------------
 
     def _loop(self) -> None:

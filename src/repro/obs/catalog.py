@@ -301,6 +301,79 @@ METRIC_CATALOG: Dict[str, MetricSpec] = dict(
             "were quarantined to <name>.corrupt.",
         ),
         _spec(
+            "runner.timeouts.leaked_threads",
+            "counter",
+            "threads",
+            "repro.experiments.runner",
+            "Worker threads abandoned by a per-attempt timeout; their "
+            "late results are sealed out of the checkpoint.",
+        ),
+        _spec(
+            "service.requests.admitted",
+            "counter",
+            "requests",
+            "repro.service.server",
+            "Client requests that passed admission control and were "
+            "queued for execution.",
+        ),
+        _spec(
+            "service.requests.rejected",
+            "counter",
+            "requests",
+            "repro.service.server",
+            "Client requests refused by token-bucket admission control "
+            "(429-style; the response carries retry_after_ms).",
+        ),
+        _spec(
+            "service.requests.shed",
+            "counter",
+            "requests",
+            "repro.service.server",
+            "Admitted requests dropped because the target pool's bounded "
+            "queue was full (backpressure).",
+        ),
+        _spec(
+            "service.requests.degraded",
+            "counter",
+            "requests",
+            "repro.service.server",
+            "Requests answered from cache or an analytic stub because "
+            "the pool's circuit breaker was open or execution failed.",
+        ),
+        _spec(
+            "service.breaker.state",
+            "gauge",
+            "state",
+            "repro.service.server",
+            "Circuit-breaker state per worker pool (0=closed, "
+            "1=half-open, 2=open), labelled by pool name.",
+            labelled=True,
+        ),
+        _spec(
+            "service.cache.hit",
+            "counter",
+            "requests",
+            "repro.service.cache",
+            "Requests served bit-identically from the manifest-keyed "
+            "result cache.",
+        ),
+        _spec(
+            "service.cache.miss",
+            "counter",
+            "requests",
+            "repro.service.cache",
+            "Cache lookups that found no (valid) entry for the request "
+            "key.",
+        ),
+        _spec(
+            "service.cache.corrupt",
+            "counter",
+            "files",
+            "repro.service.cache",
+            "Cache entries that failed their checksum at load and were "
+            "quarantined to <name>.corrupt.",
+        ),
+        _spec(
             "trace.events.dropped",
             "counter",
             "events",

@@ -85,7 +85,7 @@ class MetricsRegistry:
     def __init__(self, catalog: Optional[Dict[str, MetricSpec]] = None):
         self.catalog = METRIC_CATALOG if catalog is None else catalog
         self._counters: Dict[Tuple[str, Optional[str]], Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
+        self._gauges: Dict[Tuple[str, Optional[str]], Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     # -- handle fetch ---------------------------------------------------
@@ -115,11 +115,12 @@ class MetricsRegistry:
             handle = self._counters[key] = Counter()
         return handle
 
-    def gauge(self, name: str) -> Gauge:
-        self._spec(name, "gauge", None)
-        handle = self._gauges.get(name)
+    def gauge(self, name: str, label: Optional[str] = None) -> Gauge:
+        self._spec(name, "gauge", label)
+        key = (name, label)
+        handle = self._gauges.get(key)
         if handle is None:
-            handle = self._gauges[name] = Gauge()
+            handle = self._gauges[key] = Gauge()
         return handle
 
     def histogram(
@@ -136,9 +137,9 @@ class MetricsRegistry:
     def snapshot(self) -> Dict:
         """Plain-data dump of every live series (JSON-serialisable).
 
-        Counters appear as ``name -> value`` for unlabelled metrics and
-        ``name -> {label: value}`` for labelled ones; histograms carry
-        their edges so a snapshot is self-describing.
+        Counters and gauges appear as ``name -> value`` for unlabelled
+        metrics and ``name -> {label: value}`` for labelled ones;
+        histograms carry their edges so a snapshot is self-describing.
         """
         counters: Dict = {}
         for (name, label), handle in sorted(
@@ -148,11 +149,16 @@ class MetricsRegistry:
                 counters[name] = handle.value
             else:
                 counters.setdefault(name, {})[label] = handle.value
-        gauges = {
-            name: handle.value
-            for name, handle in sorted(self._gauges.items())
-            if handle.value is not None
-        }
+        gauges: Dict = {}
+        for (name, label), handle in sorted(
+            self._gauges.items(), key=lambda item: (item[0][0], item[0][1] or "")
+        ):
+            if handle.value is None:
+                continue
+            if label is None:
+                gauges[name] = handle.value
+            else:
+                gauges.setdefault(name, {})[label] = handle.value
         histograms = {
             name: {
                 "edges": list(handle.edges),

@@ -1,0 +1,141 @@
+"""Wire protocol of the experiment service: line-delimited JSON.
+
+One request is one ``\\n``-terminated JSON object; one response is one
+``\\n``-terminated JSON object.  Lines are bounded (:data:`MAX_LINE_BYTES`)
+so a malicious or broken client cannot balloon server memory — the same
+"never unbounded" rule the request queues follow.
+
+Request shape::
+
+    {"op": "run", "experiment_id": "table2", "deadline_ms": 5000,
+     "request_id": "r-17", "refresh": false}
+
+``op`` is ``run`` (execute or serve from cache), ``ping`` (liveness), or
+``stats`` (metrics/breaker/queue snapshot).  ``deadline_ms`` is the
+end-to-end budget the whole request — queueing, attempts, retries — must
+fit into; ``refresh`` bypasses the cache *read* (the result is still
+written back).
+
+Response statuses:
+
+====================  ====================================================
+``ok``                Executed or served from cache; ``result`` carries
+                      the experiment payload.  ``degraded=true`` means
+                      the payload is a cached/stub substitute, not a
+                      fresh exact run (``source`` says which).
+``rejected``          Token-bucket admission control refused the request
+                      (429-style); ``retry_after_ms`` hints when to retry.
+``shed``              Admitted, but the target pool's bounded queue was
+                      full (backpressure).
+``draining``          The server is shutting down gracefully; reconnect
+                      and retry — finished results are served from cache.
+``error``             The request itself was malformed (bad JSON, unknown
+                      op or experiment id, oversized line).
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import ServiceError
+
+#: Hard bound on one request/response line, in bytes (newline included).
+MAX_LINE_BYTES = 1_048_576
+
+#: Protocol revision, echoed in every response.
+PROTOCOL_VERSION = 1
+
+#: Operations a request may name.
+OPS = ("run", "ping", "stats")
+
+#: Response statuses a client may see (documented above).
+STATUSES = ("ok", "rejected", "shed", "draining", "error", "pong", "stats")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated client request."""
+
+    op: str
+    experiment_id: str = ""
+    deadline_ms: Optional[float] = None
+    request_id: str = ""
+    refresh: bool = False
+
+
+def parse_request(line: bytes) -> Request:
+    """Validate one wire line into a :class:`Request`.
+
+    Raises:
+        ServiceError: On malformed JSON, a non-object payload, an
+            unknown ``op``, a missing/invalid ``experiment_id`` for
+            ``run``, or a negative/non-numeric ``deadline_ms``.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ServiceError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(f"request is not valid JSON: {error}")
+    if not isinstance(data, dict):
+        raise ServiceError("request must be a JSON object")
+    op = data.get("op")
+    if op not in OPS:
+        raise ServiceError(f"unknown op {op!r}; expected one of {OPS}")
+    experiment_id = data.get("experiment_id", "")
+    if op == "run" and (
+        not isinstance(experiment_id, str) or not experiment_id
+    ):
+        raise ServiceError("op 'run' requires a non-empty experiment_id")
+    deadline_ms = data.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise ServiceError(
+                f"deadline_ms must be a number, got {deadline_ms!r}"
+            )
+        if deadline_ms < 0:
+            raise ServiceError(
+                f"deadline_ms must be >= 0, got {deadline_ms}"
+            )
+    request_id = data.get("request_id", "")
+    if not isinstance(request_id, str):
+        raise ServiceError("request_id must be a string")
+    refresh = data.get("refresh", False)
+    if not isinstance(refresh, bool):
+        raise ServiceError("refresh must be a boolean")
+    return Request(
+        op=op,
+        experiment_id=experiment_id if isinstance(experiment_id, str) else "",
+        deadline_ms=deadline_ms,
+        request_id=request_id,
+        refresh=refresh,
+    )
+
+
+def encode_line(payload: Dict) -> bytes:
+    """Serialize one response/request object as a bounded wire line."""
+    line = json.dumps(payload, sort_keys=True) + "\n"
+    raw = line.encode("utf-8")
+    if len(raw) > MAX_LINE_BYTES:
+        raise ServiceError(
+            f"encoded line exceeds {MAX_LINE_BYTES} bytes "
+            f"({len(raw)} bytes)"
+        )
+    return raw
+
+
+def error_response(message: str, request_id: str = "") -> Dict:
+    """The structured shape of a protocol-level failure."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "request_id": request_id,
+        "status": "error",
+        "error": {"type": "ServiceError", "message": message},
+    }

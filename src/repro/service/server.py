@@ -1,0 +1,846 @@
+"""The asyncio experiment service: admission, backpressure, breakers.
+
+Request path (all decisions on the event-loop thread, so no state needs
+locks)::
+
+    parse/validate ── admission (token bucket) ── cache lookup
+        ── circuit breaker ── bounded pool queue ── execute ── memoize
+
+Every stage that can refuse does so *explicitly* and *immediately*:
+admission refusal is a ``rejected`` response with a retry hint, a full
+pool queue is a ``shed`` response, an open breaker short-circuits to a
+cached or analytic-stub response tagged ``degraded=true``.  Nothing
+buffers unboundedly and nothing blocks a client on a pool that recent
+history says is broken.
+
+Execution itself happens off the loop, one single-thread executor per
+pool, through one of two backends:
+
+* ``inline`` — an :class:`~repro.experiments.runner.ExperimentRunner`
+  in the pool's thread: cheap, and still timeout/retry/deadline-aware;
+* ``supervised`` — each request becomes a one-task
+  :class:`~repro.experiments.supervisor.SupervisedExecutor` batch in a
+  real worker *process*: crashes (including chaos-injected or external
+  SIGKILL) are survived by the PR-5 recovery machinery, and the worker
+  pid is exposed so the chaos suite can kill it mid-request.
+
+Graceful drain reuses the PR-5 semantics: on ``drain()`` the service
+stops admitting (``draining`` responses), lets in-flight requests finish
+within ``drain_timeout``, flushes the cache, and closes.  Reconnecting
+clients get finished results from the cache bit-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.common.breaker import CircuitBreaker
+from repro.common.deadline import Deadline, deadline_from_ms
+from repro.common.errors import ServiceError
+from repro.experiments.base import EXPERIMENT_REGISTRY, ExperimentResult
+from repro.obs.session import ObsSession
+from repro.service.cache import ResultCache, key_fields, request_key
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    Request,
+    encode_line,
+    error_response,
+    parse_request,
+)
+
+#: Numeric encoding of breaker states for the ``service.breaker.state``
+#: gauge (labelled by pool name).
+BREAKER_STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+
+@dataclass
+class ServiceConfig:
+    """Every knob of one service instance.
+
+    Args:
+        host: Bind address.
+        port: Bind port; 0 picks a free one (read it back from
+            :attr:`ExperimentService.port` after ``start``).
+        pools: Worker pools; requests shard across them by experiment
+            id, so one wedged pool cannot absorb every request.
+        queue_depth: Bound of each pool's request queue; a full queue
+            sheds (never unbounded buffering).
+        rate: Token-bucket refill rate, requests/second.
+        burst: Token-bucket capacity (burst allowance).
+        backend: ``"inline"`` (runner in the pool thread) or
+            ``"supervised"`` (one worker process per request via the
+            supervised executor — survives SIGKILL).
+        timeout_seconds: Per-attempt wall-clock budget for executions.
+        retries: Extra attempts per failing execution.
+        sanitize: Run executions with the runtime sanitizer armed.
+        breaker_failures: Consecutive failures that open a pool's
+            circuit breaker.
+        breaker_reset: Base seconds before an open breaker probes.
+        breaker_jitter: Jitter fraction on the probe delay (seeded).
+        cache_dir: Directory of the durable result cache.
+        drain_timeout: How long in-flight requests may finish during a
+            graceful drain.
+        seed: Master seed for breaker probe jitter.
+        trace_depth: Ring-buffer depth for request-scoped trace spans;
+            0 disables tracing (metrics stay on).
+        heartbeat_interval: Worker heartbeat period (supervised
+            backend).
+        max_task_crashes: Worker crashes one request may cause before
+            the supervised backend reports it failed.
+        chaos: Optional
+            :class:`~repro.experiments.chaos.ServiceChaosConfig`
+            (tests only): cache corruption after writes, worker chaos
+            forwarded to supervised pools.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    pools: int = 2
+    queue_depth: int = 8
+    rate: float = 200.0
+    burst: int = 50
+    backend: str = "inline"
+    timeout_seconds: Optional[float] = None
+    retries: int = 1
+    sanitize: bool = False
+    breaker_failures: int = 3
+    breaker_reset: float = 1.0
+    breaker_jitter: float = 0.5
+    cache_dir: str = "service-cache"
+    drain_timeout: float = 10.0
+    seed: int = 0
+    trace_depth: int = 0
+    heartbeat_interval: float = 0.2
+    max_task_crashes: int = 3
+    chaos: Optional[object] = None
+
+    def __post_init__(self):
+        if self.pools < 1:
+            raise ServiceError(f"pools must be >= 1, got {self.pools}")
+        if self.queue_depth < 1:
+            raise ServiceError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.rate <= 0 or self.burst < 1:
+            raise ServiceError(
+                f"rate must be > 0 and burst >= 1, got rate={self.rate} "
+                f"burst={self.burst}"
+            )
+        if self.backend not in ("inline", "supervised"):
+            raise ServiceError(
+                f"backend must be 'inline' or 'supervised', "
+                f"got {self.backend!r}"
+            )
+
+
+class TokenBucket:
+    """Continuous-refill token bucket for admission control.
+
+    ``rate`` tokens/second flow in, up to ``burst`` stored; each
+    admitted request takes one.  When empty, :meth:`retry_after` says
+    how long until the next token — clients get an honest 429-style
+    hint instead of a guess.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ServiceError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ServiceError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def try_take(self) -> bool:
+        """Take one token if available; False means reject."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until one token will be available."""
+        self._refill()
+        deficit = 1.0 - self._tokens
+        return max(0.0, deficit / self.rate)
+
+
+# ----------------------------------------------------------------------
+# Execution backends (run in the pool's single executor thread)
+# ----------------------------------------------------------------------
+
+
+class InlineBackend:
+    """Execute requests with an in-process :class:`ExperimentRunner`."""
+
+    name = "inline"
+
+    def __init__(self, config: ServiceConfig, registry: Optional[Dict]):
+        from repro.experiments.runner import ExperimentRunner
+
+        self.runner = ExperimentRunner(
+            timeout_seconds=config.timeout_seconds,
+            retries=config.retries,
+            sanitize=config.sanitize,
+            registry=registry,
+        )
+
+    def execute(
+        self, experiment_id: str, deadline: Optional[Deadline]
+    ) -> Dict:
+        try:
+            result = self.runner.run_one(experiment_id, deadline=deadline)
+        except Exception as error:  # noqa: BLE001 - becomes degraded response
+            return {
+                "ok": False,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                },
+            }
+        return {"ok": True, "result": result.to_dict()}
+
+    def worker_pids(self) -> List[int]:
+        return []
+
+
+class SupervisedBackend:
+    """Execute each request as a one-task supervised-executor batch.
+
+    Heavyweight but crash-proof: the experiment runs in a real worker
+    process with heartbeats and a hard kill deadline; worker death
+    (chaos-injected or an external SIGKILL) is survived by re-queue, and
+    a poison request comes back as a structured failure instead of
+    wedging the pool.  The live worker pid is exposed through
+    :meth:`worker_pids` so the chaos suite can kill it mid-request.
+    """
+
+    name = "supervised"
+
+    def __init__(self, config: ServiceConfig, registry: Optional[Dict]):
+        # A custom registry works here too, as long as its callables
+        # are picklable (module-level): the spec carries the function
+        # across the fork/spawn boundary, mirroring run_many(jobs=N).
+        self.registry = registry
+        self.config = config
+        worker_chaos = None
+        if config.chaos is not None:
+            worker_chaos = config.chaos.worker
+        self.worker_chaos = worker_chaos
+        self._executor = None
+
+    def execute(
+        self, experiment_id: str, deadline: Optional[Deadline]
+    ) -> Dict:
+        from repro.experiments.runner import ExperimentRunner, _pool_worker
+        from repro.experiments.supervisor import SupervisedExecutor
+
+        config = self.config
+        timeout = config.timeout_seconds
+        if deadline is not None:
+            # Serialize the *remaining* budget into the worker's
+            # cooperative timeout (monotonic clocks do not cross
+            # process boundaries).
+            remaining = deadline.bound(timeout)
+            if remaining <= 0:
+                return {
+                    "ok": False,
+                    "error": {
+                        "type": "ExperimentTimeout",
+                        "message": "deadline expired before execution",
+                    },
+                }
+            timeout = remaining
+        task_deadline = None
+        if timeout is not None:
+            task_deadline = (
+                timeout * (config.retries + 1)
+                + ExperimentRunner.TASK_DEADLINE_GRACE
+            )
+        spec = (
+            experiment_id,
+            timeout,
+            config.retries,
+            config.sanitize,
+            None if self.registry is None else self.registry[experiment_id],
+            False,
+            0,
+        )
+        records: List = []
+        executor = SupervisedExecutor(
+            worker_fn=_pool_worker,
+            jobs=1,
+            heartbeat_interval=config.heartbeat_interval,
+            task_deadline=task_deadline,
+            max_task_crashes=config.max_task_crashes,
+            drain_timeout=config.drain_timeout,
+            chaos=self.worker_chaos,
+        )
+        self._executor = executor
+        try:
+            executor.run([(experiment_id, spec)], records.append)
+        finally:
+            self._executor = None
+        for record in records:
+            _, kind, payload, _, _ = record
+            if kind == "result":
+                return {"ok": True, "result": payload}
+            return {
+                "ok": False,
+                "error": {
+                    "type": payload.get("error_type", "ExecutorError"),
+                    "message": payload.get("message", ""),
+                },
+            }
+        return {
+            "ok": False,
+            "error": {
+                "type": "ExecutorError",
+                "message": "execution produced no record (interrupted?)",
+            },
+        }
+
+    def worker_pids(self) -> List[int]:
+        executor = self._executor
+        if executor is None:
+            return []
+        return executor.worker_pids()
+
+
+# ----------------------------------------------------------------------
+# Pools
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Job:
+    """One admitted request waiting in (or running from) a pool queue."""
+
+    request: Request
+    key: str
+    deadline: Optional[Deadline]
+    future: "asyncio.Future"
+
+
+class _Pool:
+    """One worker pool: bounded queue + breaker + single executor thread."""
+
+    def __init__(
+        self, index: int, name: str, service: "ExperimentService", backend
+    ):
+        self.name = name
+        self.service = service
+        self.backend = backend
+        self.queue: asyncio.Queue = asyncio.Queue(
+            maxsize=service.config.queue_depth
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=service.config.breaker_failures,
+            reset_timeout=service.config.breaker_reset,
+            probe_jitter=service.config.breaker_jitter,
+            jitter=service.config.seed * 1000 + index,
+            name=name,
+            on_transition=service._on_breaker_transition,
+        )
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"svc-{name}"
+        )
+        self.task: Optional[asyncio.Task] = None
+        self.busy = False
+
+    def start(self) -> None:
+        self.task = asyncio.get_running_loop().create_task(self._loop())
+        self.service._publish_breaker_state(self.breaker)
+
+    async def _loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                job = await asyncio.wait_for(self.queue.get(), timeout=0.1)
+            except asyncio.TimeoutError:
+                if self.service.draining:
+                    break
+                continue
+            if job is None:
+                break
+            self.busy = True
+            try:
+                outcome = await loop.run_in_executor(
+                    self.executor,
+                    self.backend.execute,
+                    job.request.experiment_id,
+                    job.deadline,
+                )
+            except asyncio.CancelledError:
+                # Hard drain: the execution thread may still be running,
+                # but the waiter must not hang on a result that will
+                # never be published.
+                if not job.future.done():
+                    job.future.set_result(
+                        {
+                            "ok": False,
+                            "error": {
+                                "type": "ServiceError",
+                                "message": "drain timeout cancelled "
+                                "the execution",
+                            },
+                        }
+                    )
+                raise
+            except Exception as error:  # noqa: BLE001 - surfaced to waiter
+                outcome = {
+                    "ok": False,
+                    "error": {
+                        "type": type(error).__name__,
+                        "message": str(error),
+                    },
+                }
+            finally:
+                self.busy = False
+            if not job.future.done():
+                job.future.set_result(outcome)
+
+    async def stop(self, timeout: float) -> None:
+        """Let the in-flight job finish, then tear the pool down."""
+        if self.task is None:
+            return
+        try:
+            await asyncio.wait_for(self.task, timeout=timeout)
+        except asyncio.TimeoutError:
+            self.task.cancel()
+            try:
+                await self.task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self.executor.shutdown(wait=False)
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+
+
+class ExperimentService:
+    """The asyncio front end; see the module docstring for the design.
+
+    Args:
+        config: Every knob (:class:`ServiceConfig`).
+        registry: Experiment-id → callable mapping; defaults to the
+            global registry (injection point for tests; inline backend
+            only).
+    """
+
+    def __init__(
+        self, config: ServiceConfig, registry: Optional[Dict] = None
+    ):
+        self.config = config
+        self._custom_registry = registry
+        self.registry = EXPERIMENT_REGISTRY if registry is None else registry
+        self.session = ObsSession(trace_depth=config.trace_depth)
+        self.metrics = self.session.metrics
+        self.cache = ResultCache(config.cache_dir, metrics=self.metrics)
+        self.bucket = TokenBucket(config.rate, config.burst)
+        self.pools: List[_Pool] = []
+        self.server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+        self.draining = False
+        # Created inside start() — asyncio primitives must be born on
+        # the loop they are awaited on (Python 3.9 binds at creation).
+        self._drained: Optional[asyncio.Event] = None
+        # key -> future of the in-flight execution: concurrent requests
+        # for the same key coalesce onto one run (singleflight).
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _make_backend(self):
+        if self.config.backend == "supervised":
+            return SupervisedBackend(self.config, self._custom_registry)
+        return InlineBackend(self.config, self._custom_registry)
+
+    async def start(self) -> None:
+        """Bind the listener and start the pool loops."""
+        if self._custom_registry is None:
+            import repro.experiments  # noqa: F401 - populates the registry
+
+        self._drained = asyncio.Event()
+        for index in range(self.config.pools):
+            pool = _Pool(index, f"pool-{index}", self, self._make_backend())
+            self.pools.append(pool)
+            pool.start()
+        self.server = await asyncio.start_server(
+            self._handle_client,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self.server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish in-flight work, flush, close.
+
+        New ``run`` requests get ``draining`` responses the moment this
+        starts; queued and in-flight requests may finish within
+        ``drain_timeout``; the cache is flushed so reconnecting clients
+        get finished results bit-identically.
+        """
+        if self.draining:
+            if self._drained is not None:
+                await self._drained.wait()
+            return
+        self.draining = True
+        per_pool = max(self.config.drain_timeout, 0.2)
+        await asyncio.gather(
+            *(pool.stop(per_pool) for pool in self.pools)
+        )
+        # Whatever never ran: tell the waiters.
+        for pool in self.pools:
+            while not pool.queue.empty():
+                job = pool.queue.get_nowait()
+                if job is not None and not job.future.done():
+                    job.future.set_result(
+                        {
+                            "ok": False,
+                            "error": {
+                                "type": "ServiceError",
+                                "message": "server drained before execution",
+                            },
+                        }
+                    )
+        self.cache.flush()
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+        if self._drained is not None:
+            self._drained.set()
+
+    async def serve_until(self, stop: "asyncio.Event") -> None:
+        """Serve until ``stop`` is set, then drain gracefully."""
+        await stop.wait()
+        await self.drain()
+
+    def worker_pids(self) -> Dict[str, List[int]]:
+        """Live worker pids per pool (supervised backend; chaos hooks)."""
+        return {
+            pool.name: pool.backend.worker_pids() for pool in self.pools
+        }
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):
+                    writer.write(
+                        encode_line(
+                            error_response(
+                                f"request line exceeds {MAX_LINE_BYTES} bytes"
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                try:
+                    request = parse_request(line)
+                except ServiceError as error:
+                    writer.write(encode_line(error_response(str(error))))
+                    await writer.drain()
+                    continue
+                response = await self._dispatch(request)
+                writer.write(encode_line(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # The client vanished (chaos client_disconnect, a crash, a
+            # dropped link).  Nothing to tell anyone; just clean up.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- request dispatch -----------------------------------------------
+
+    async def _dispatch(self, request: Request) -> Dict:
+        if request.op == "ping":
+            return self._base(request, "pong")
+        if request.op == "stats":
+            return self._stats(request)
+        with self.session.span(
+            "service.request",
+            experiment_id=request.experiment_id,
+            request_id=request.request_id,
+        ):
+            return await self._dispatch_run(request)
+
+    async def _dispatch_run(self, request: Request) -> Dict:
+        start = time.monotonic()
+        if self.draining:
+            return self._base(request, "draining")
+        if request.experiment_id not in self.registry:
+            return error_response(
+                f"unknown experiment {request.experiment_id!r}",
+                request.request_id,
+            )
+        if not self.bucket.try_take():
+            self.metrics.counter("service.requests.rejected").inc()
+            response = self._base(request, "rejected")
+            response["retry_after_ms"] = round(
+                self.bucket.retry_after() * 1000.0, 3
+            )
+            return response
+        self.metrics.counter("service.requests.admitted").inc()
+        key = self._key_for(request.experiment_id)
+        deadline = deadline_from_ms(request.deadline_ms)
+        if not request.refresh:
+            payload = self.cache.get_payload(key)
+            if payload is not None:
+                return self._ok(
+                    request, key, payload, source="cache", start=start
+                )
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # Coalesce onto the running execution instead of queueing a
+            # duplicate (singleflight).
+            outcome = await asyncio.shield(inflight)
+            return self._finish(
+                request, key, dict(outcome), start, record_breaker=False
+            )
+        pool = self._pool_for(request.experiment_id)
+        if not pool.breaker.allow():
+            self.metrics.counter("service.requests.degraded").inc()
+            return self._degraded(
+                request,
+                key,
+                start,
+                error={
+                    "type": "CircuitOpen",
+                    "message": f"{pool.name} circuit breaker is open",
+                },
+            )
+        self._publish_breaker_state(pool.breaker)
+        future = asyncio.get_running_loop().create_future()
+        job = _Job(
+            request=request, key=key, deadline=deadline, future=future
+        )
+        try:
+            pool.queue.put_nowait(job)
+        except asyncio.QueueFull:
+            pool.breaker.abandon_probe()
+            self.metrics.counter("service.requests.shed").inc()
+            response = self._base(request, "shed")
+            response["retry_after_ms"] = round(
+                self.bucket.retry_after() * 1000.0, 3
+            )
+            return response
+        self._inflight[key] = future
+        try:
+            outcome = await future
+        finally:
+            self._inflight.pop(key, None)
+        response = self._finish(
+            request, key, outcome, start, pool=pool, record_breaker=True
+        )
+        return response
+
+    def _finish(
+        self,
+        request: Request,
+        key: str,
+        outcome: Dict,
+        start: float,
+        pool: Optional[_Pool] = None,
+        record_breaker: bool = True,
+    ) -> Dict:
+        if outcome.get("ok"):
+            if record_breaker and pool is not None:
+                pool.breaker.record_success()
+                self._publish_breaker_state(pool.breaker)
+            payload = outcome.get("payload")
+            if payload is None:
+                payload = self.cache.put(
+                    key, {"key": key, "result": outcome["result"]}
+                )
+                outcome["payload"] = payload
+                self._maybe_corrupt(key)
+            return self._ok(request, key, payload, source="pool", start=start)
+        if record_breaker and pool is not None:
+            pool.breaker.record_failure()
+            self._publish_breaker_state(pool.breaker)
+        self.metrics.counter("service.requests.degraded").inc()
+        return self._degraded(
+            request, key, start, error=outcome.get("error")
+        )
+
+    # -- response builders ----------------------------------------------
+
+    def _base(self, request: Request, status: str) -> Dict:
+        return {
+            "v": PROTOCOL_VERSION,
+            "request_id": request.request_id,
+            "status": status,
+        }
+
+    def _ok(
+        self,
+        request: Request,
+        key: str,
+        payload: str,
+        source: str,
+        start: float,
+    ) -> Dict:
+        response = self._base(request, "ok")
+        response["degraded"] = False
+        response["source"] = source
+        response["cache_key"] = key
+        entry = json.loads(payload)
+        response["result"] = entry["result"]
+        response["elapsed_ms"] = round(
+            (time.monotonic() - start) * 1000.0, 3
+        )
+        return response
+
+    def _degraded(
+        self,
+        request: Request,
+        key: str,
+        start: float,
+        error: Optional[Dict] = None,
+    ) -> Dict:
+        """Serve a cached or analytic-stub substitute, tagged degraded.
+
+        ``status`` stays ``ok`` — degradation is a quality tag, not an
+        error: the client still gets a usable, deterministic payload.
+        """
+        response = self._base(request, "ok")
+        response["degraded"] = True
+        response["cache_key"] = key
+        cached = self.cache.get(key)
+        if cached is not None:
+            response["source"] = "cache"
+            response["result"] = cached["result"]
+        else:
+            response["source"] = "stub"
+            response["result"] = analytic_stub(request.experiment_id)
+        if error is not None:
+            response["error"] = error
+        response["elapsed_ms"] = round(
+            (time.monotonic() - start) * 1000.0, 3
+        )
+        return response
+
+    def _stats(self, request: Request) -> Dict:
+        response = self._base(request, "stats")
+        response["draining"] = self.draining
+        response["metrics"] = self.metrics.snapshot()
+        response["pools"] = {
+            pool.name: {
+                "breaker": pool.breaker.state,
+                "queued": pool.queue.qsize(),
+                "busy": pool.busy,
+            }
+            for pool in self.pools
+        }
+        response["cache_entries"] = len(self.cache)
+        return response
+
+    # -- plumbing -------------------------------------------------------
+
+    def _key_for(self, experiment_id: str) -> str:
+        from repro.experiments.runner import ExperimentRunner
+        from repro.sim.fastpath import default_engine
+
+        parameter = ExperimentRunner._rng_parameter(
+            self.registry[experiment_id]
+        )
+        seed = ExperimentRunner._attempt_seed(parameter, 0)
+        return request_key(
+            key_fields(
+                experiment_id=experiment_id,
+                seed=seed,
+                engine=default_engine(),
+                sanitize=self.config.sanitize,
+            )
+        )
+
+    def _pool_for(self, experiment_id: str) -> _Pool:
+        digest = hashlib.sha256(experiment_id.encode("utf-8")).digest()
+        index = int.from_bytes(digest[:4], "big") % len(self.pools)
+        return self.pools[index]
+
+    def _on_breaker_transition(self, breaker, old_state, new_state) -> None:
+        self._publish_breaker_state(breaker)
+        self.session.event(
+            "service.breaker",
+            pool=breaker.name,
+            old_state=old_state,
+            new_state=new_state,
+        )
+
+    def _publish_breaker_state(self, breaker) -> None:
+        self.metrics.gauge("service.breaker.state", label=breaker.name).set(
+            BREAKER_STATE_VALUES[breaker.state]
+        )
+
+    def _maybe_corrupt(self, key: str) -> None:
+        """Chaos hook: bit-flip the entry just written (tests only)."""
+        chaos = self.config.chaos
+        if chaos is None or not chaos.decide_corrupt(key):
+            return
+        from repro.experiments.chaos import bit_flip_file
+
+        try:
+            bit_flip_file(self.cache.path(key), seed=chaos.seed)
+        except (OSError, ValueError):
+            return
+        self.cache.discard_memory(key)
+
+
+def analytic_stub(experiment_id: str) -> Dict:
+    """Deterministic substitute payload for degraded-mode serving.
+
+    Shaped exactly like a real :class:`ExperimentResult` payload so
+    clients parse one format, with the degradation spelled out in
+    ``notes`` (and the response's ``degraded``/``source`` tags).
+    """
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"analytic stub for {experiment_id} (degraded)",
+        columns=[],
+        rows=[],
+        paper_expectation="",
+        notes=(
+            "degraded response: the worker pool was unavailable and no "
+            "cached result existed; retry later for exact data"
+        ),
+    ).to_dict()

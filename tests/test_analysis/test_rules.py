@@ -343,6 +343,60 @@ class TestNoBarePool:
         assert _rule_hits(source, rules=["no-bare-pool"]) == []
 
 
+class TestNoUnboundedQueue:
+    def test_flags_bare_asyncio_and_queue_constructors(self):
+        source = (
+            "import asyncio\n"
+            "import queue\n"
+            "a = asyncio.Queue()\n"
+            "b = queue.Queue()\n"
+            "c = queue.LifoQueue()\n"
+            "d = queue.PriorityQueue()\n"
+        )
+        hits = _rule_hits(source, rules=["no-unbounded-queue"])
+        assert [line for _, line in hits] == [3, 4, 5, 6]
+        assert all(rule_id == "no-unbounded-queue" for rule_id, _ in hits)
+
+    def test_bounded_constructions_pass(self):
+        source = (
+            "import asyncio\n"
+            "import queue\n"
+            "a = asyncio.Queue(maxsize=8)\n"
+            "b = queue.Queue(16)\n"
+            "c = asyncio.Queue(maxsize=depth)\n"
+        )
+        assert _rule_hits(source, rules=["no-unbounded-queue"]) == []
+
+    def test_flags_aliased_from_import(self):
+        source = (
+            "from asyncio import Queue\n"
+            "from queue import Queue as ThreadQueue\n"
+            "a = Queue()\n"
+            "b = ThreadQueue()\n"
+            "c = Queue(maxsize=4)\n"
+        )
+        hits = _rule_hits(source, rules=["no-unbounded-queue"])
+        assert [line for _, line in hits] == [3, 4]
+
+    def test_multiprocessing_queue_is_exempt(self):
+        # The supervised executor owns and drains these; bounding them
+        # would deadlock its result plumbing.
+        source = (
+            "import multiprocessing\n"
+            "q = multiprocessing.Queue()\n"
+            "from multiprocessing import Queue\n"
+            "r = Queue()\n"
+        )
+        assert _rule_hits(source, rules=["no-unbounded-queue"]) == []
+
+    def test_allow_comment_suppresses(self):
+        source = (
+            "import asyncio\n"
+            "q = asyncio.Queue()  # repro: allow(no-unbounded-queue)\n"
+        )
+        assert _rule_hits(source, rules=["no-unbounded-queue"]) == []
+
+
 class TestRegistry:
     def test_every_advertised_rule_is_registered(self):
         expected = {
@@ -355,6 +409,7 @@ class TestRegistry:
             "fault-declares-injection",
             "no-bare-pool",
             "metric-registered",
+            "no-unbounded-queue",
         }
         assert expected <= set(RULE_REGISTRY)
 

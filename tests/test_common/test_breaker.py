@@ -1,0 +1,179 @@
+"""Circuit-breaker state machine, on a hand-cranked clock."""
+
+import pytest
+
+from repro.common.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_timeout", 10.0)
+    kwargs.setdefault("probe_jitter", 0.0)  # exact timing in tests
+    return CircuitBreaker(clock=clock, **kwargs)
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()  # never 3 in a row
+        assert breaker.state == CLOSED
+
+
+class TestTripAndProbe:
+    def test_threshold_failures_trip_open(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.times_opened == 1
+
+    def test_open_turns_half_open_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else waits for the verdict
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_delay(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 2
+        assert not breaker.allow()
+        clock.advance(10.1)  # fresh reset_timeout from the re-open
+        assert breaker.allow()
+
+    def test_abandoned_probe_frees_the_slot(self):
+        # The service takes the probe slot before enqueueing; a shed
+        # call must hand it back or no probe ever reports.
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.abandon_probe()
+        assert breaker.allow()
+
+
+class TestJitterAndObservers:
+    def test_probe_delay_is_seed_deterministic(self):
+        def probe_delay(seed):
+            clock = FakeClock()
+            breaker = CircuitBreaker(
+                failure_threshold=1,
+                reset_timeout=10.0,
+                probe_jitter=0.5,
+                jitter=seed,
+                clock=clock,
+            )
+            breaker.record_failure()
+            return breaker._probe_at
+
+        assert probe_delay(7) == probe_delay(7)
+        assert probe_delay(7) != probe_delay(8)
+
+    def test_jittered_delay_stays_in_declared_band(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout=10.0,
+            probe_jitter=0.5,
+            jitter=42,
+            clock=clock,
+        )
+        breaker.record_failure()
+        assert 10.0 <= breaker._probe_at <= 15.0
+
+    def test_on_transition_sees_every_state_change(self):
+        clock = FakeClock()
+        seen = []
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout=10.0,
+            probe_jitter=0.0,
+            clock=clock,
+            name="pool-0",
+            on_transition=lambda b, old, new: seen.append((old, new)),
+        )
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert seen == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"reset_timeout": 0.0},
+            {"reset_timeout": -1.0},
+            {"probe_jitter": -0.1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

@@ -2,8 +2,20 @@
 
 import pytest
 
+from repro.common.deadline import Deadline
 from repro.common.rng import make_rng
 from repro.common.retry import full_jitter, retry_with_backoff
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
 
 
 class TestRetryWithBackoff:
@@ -99,6 +111,128 @@ class TestRetryWithBackoff:
             fn, attempts=3, base_delay=0.0, sleep=sleeps.append
         )
         assert sleeps == []
+
+
+class TestDeadlineAwareRetry:
+    def test_expired_deadline_raises_last_error_instead_of_retrying(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            clock.advance(6.0)  # the attempt itself eats the budget
+            raise RuntimeError(f"attempt {attempt}")
+
+        with pytest.raises(RuntimeError, match="attempt 0"):
+            retry_with_backoff(
+                fn, attempts=3, sleep=lambda _: None, deadline=deadline
+            )
+        assert calls == [0]
+
+    def test_sleep_that_would_overrun_aborts_the_loop(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        sleeps = []
+
+        def fn(attempt):
+            clock.advance(0.8)  # 0.2 s left; next backoff is 0.5 s
+            raise RuntimeError(f"attempt {attempt}")
+
+        with pytest.raises(RuntimeError, match="attempt 0"):
+            retry_with_backoff(
+                fn,
+                attempts=3,
+                base_delay=0.5,
+                sleep=sleeps.append,
+                deadline=deadline,
+            )
+        assert sleeps == []  # never slept into the overrun
+
+    def test_retries_proceed_while_budget_allows(self):
+        clock = FakeClock()
+        deadline = Deadline.after(10.0, clock=clock)
+        sleeps = []
+
+        def sleeping(pause):
+            sleeps.append(pause)
+            clock.advance(pause)
+
+        def fn(attempt):
+            clock.advance(0.1)
+            if attempt < 2:
+                raise RuntimeError("flaky")
+            return attempt
+
+        result = retry_with_backoff(
+            fn,
+            attempts=3,
+            base_delay=0.5,
+            sleep=sleeping,
+            deadline=deadline,
+        )
+        assert result == 2
+        assert sleeps == [0.5, 1.0]
+
+    def test_on_retry_not_fired_when_deadline_aborts(self):
+        # The callback announces "this error will be retried"; an abort
+        # must not lie about that.
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        observed = []
+
+        def fn(attempt):
+            clock.advance(2.0)
+            raise RuntimeError("slow failure")
+
+        with pytest.raises(RuntimeError):
+            retry_with_backoff(
+                fn,
+                attempts=3,
+                sleep=lambda _: None,
+                on_retry=lambda attempt, error: observed.append(attempt),
+                deadline=deadline,
+            )
+        assert observed == []
+
+    def test_no_deadline_means_no_budget_checks(self):
+        def fn(attempt):
+            if attempt < 2:
+                raise RuntimeError("flaky")
+            return "done"
+
+        assert (
+            retry_with_backoff(fn, attempts=3, sleep=lambda _: None)
+            == "done"
+        )
+
+    def test_jittered_sleep_is_checked_against_the_budget(self):
+        # The overrun check uses the *drawn* pause, not the un-jittered
+        # bound: a draw that fits must sleep, one that does not must
+        # abort.  With base 2.0 and 1.0 s left, seed 3's first draw is
+        # small enough to fit.
+        clock = FakeClock()
+        rng = make_rng(3)
+        first_draw = rng.uniform(0.0, 2.0)
+        deadline = Deadline.after(first_draw + 0.5, clock=clock)
+        sleeps = []
+
+        def fn(attempt):
+            if attempt == 0:
+                raise RuntimeError("flaky")
+            return "ok"
+
+        result = retry_with_backoff(
+            fn,
+            attempts=2,
+            base_delay=2.0,
+            max_delay=2.0,
+            sleep=sleeps.append,
+            jitter=make_rng(3),
+            deadline=deadline,
+        )
+        assert result == "ok"
+        assert sleeps == [pytest.approx(first_draw)]
 
 
 class TestFullJitter:

@@ -86,7 +86,11 @@ class TestReadmeExamplesTable:
 
 
 #: Docs whose backticked dotted names may refer to metrics.
-_METRIC_DOCS = ("docs/OBSERVABILITY.md", "docs/PAPER_MAP.md")
+_METRIC_DOCS = (
+    "docs/OBSERVABILITY.md",
+    "docs/PAPER_MAP.md",
+    "docs/SERVICE.md",
+)
 
 #: Trace span/event names (not metrics, but share metric domains).
 _TRACE_NAMES = {
@@ -194,6 +198,8 @@ class TestCliFlagDrift:
         "--baseline",
         "--min-speedup",
         "--tolerance",
+        "--max-exec-overhead",
+        "--min-hit-rate",
         "--rule",
         "--only",
         "--check",
@@ -212,6 +218,7 @@ class TestCliFlagDrift:
             "docs/PERFORMANCE.md",
             "docs/FAULTS.md",
             "docs/RESILIENCE.md",
+            "docs/SERVICE.md",
         ],
     )
     def test_documented_repro_flags_exist(self, name):

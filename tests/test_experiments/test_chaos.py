@@ -264,3 +264,51 @@ class TestChaosAcceptance:
         assert report.resumed == []  # the corrupt file was never trusted
         assert (tmp_path / "progress.json.corrupt").exists()
         assert [r.to_dict() for r in report.results] == expected
+
+
+class TestServiceChaosConfig:
+    def test_probabilities_validated(self):
+        from repro.experiments.chaos import ServiceChaosConfig
+
+        with pytest.raises(ValueError):
+            ServiceChaosConfig(corrupt_cache=1.5)
+        with pytest.raises(ValueError):
+            ServiceChaosConfig(client_disconnect=-0.1)
+
+    def test_decisions_are_deterministic_and_seed_sensitive(self):
+        from repro.experiments.chaos import ServiceChaosConfig
+
+        a = ServiceChaosConfig(seed=1, corrupt_cache=0.5, client_disconnect=0.5)
+        b = ServiceChaosConfig(seed=1, corrupt_cache=0.5, client_disconnect=0.5)
+        c = ServiceChaosConfig(seed=2, corrupt_cache=0.5, client_disconnect=0.5)
+        keys = [f"key-{i}" for i in range(64)]
+        assert [a.decide_corrupt(k) for k in keys] == [
+            b.decide_corrupt(k) for k in keys
+        ]
+        assert [a.decide_corrupt(k) for k in keys] != [
+            c.decide_corrupt(k) for k in keys
+        ]
+        indexes = list(range(64))
+        assert [a.decide_disconnect(i) for i in indexes] == [
+            b.decide_disconnect(i) for i in indexes
+        ]
+
+    def test_zero_probability_never_strikes(self):
+        from repro.experiments.chaos import ServiceChaosConfig
+
+        chaos = ServiceChaosConfig(seed=9)
+        assert not any(chaos.decide_corrupt(f"k{i}") for i in range(50))
+        assert not any(chaos.decide_disconnect(i) for i in range(50))
+
+    def test_round_trips_through_dict_with_nested_worker(self):
+        from repro.experiments.chaos import ChaosConfig, ServiceChaosConfig
+
+        chaos = ServiceChaosConfig(
+            seed=4,
+            corrupt_cache=0.25,
+            client_disconnect=0.1,
+            worker=ChaosConfig(seed=4, kill_before_run=0.3),
+        )
+        assert ServiceChaosConfig.from_dict(chaos.to_dict()) == chaos
+        bare = ServiceChaosConfig(seed=5)
+        assert ServiceChaosConfig.from_dict(bare.to_dict()) == bare

@@ -1,16 +1,19 @@
 """Tests for the resilient experiment runner."""
 
 import json
+import threading
 import time
 
 import pytest
 
+from repro.common.deadline import Deadline
 from repro.common.errors import CheckpointCorruptWarning, ExperimentTimeout
 from repro.experiments.base import ExperimentResult
 from repro.experiments.runner import (
     ExperimentFailure,
     ExperimentRunner,
     RunReport,
+    _AttemptBox,
 )
 
 
@@ -213,3 +216,114 @@ class TestResultSerialization:
 class TestRunReport:
     def test_empty_report_is_ok(self):
         assert RunReport().ok
+
+
+class TestAttemptBox:
+    def test_publish_before_seal_is_kept(self):
+        box = _AttemptBox()
+        assert box.publish("result", 42)
+        assert box.seal() == {"result": 42}
+
+    def test_publish_after_seal_is_rejected(self):
+        # The exact race the box exists to close: a worker finishing
+        # between the join timeout and the parent's verdict must find
+        # the box already sealed.
+        box = _AttemptBox()
+        assert box.seal() == {}
+        assert not box.publish("result", "too late")
+        assert box.seal() == {}
+
+
+class TestTimeoutDiscard:
+    def test_late_result_is_discarded_and_leak_counted(self):
+        release = threading.Event()
+        finished = threading.Event()
+
+        def wedged():
+            release.wait(5.0)
+            finished.set()
+            return _result("wedged")
+
+        runner = ExperimentRunner(
+            timeout_seconds=0.1, retries=0, registry={"wedged": wedged}
+        )
+        with pytest.raises(ExperimentTimeout):
+            runner.run_one("wedged")
+        assert runner.leaked_timeout_threads == 1
+        # Let the stuck worker finish *after* the verdict: its result
+        # lands in a sealed box, so nothing observable changes.
+        release.set()
+        assert finished.wait(5.0)
+        assert runner.leaked_timeout_threads == 1
+
+    def test_leak_metric_lands_on_the_active_session(self):
+        from repro.obs.session import ObsSession, observe
+
+        def wedged():
+            time.sleep(5.0)
+            return _result("wedged")
+
+        runner = ExperimentRunner(
+            timeout_seconds=0.05, retries=0, registry={"wedged": wedged}
+        )
+        session = ObsSession()
+        with observe(session):
+            with pytest.raises(ExperimentTimeout):
+                runner.run_one("wedged")
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["runner.timeouts.leaked_threads"] == 1
+
+    def test_fast_attempt_leaks_nothing(self):
+        runner = ExperimentRunner(
+            timeout_seconds=5.0, retries=0, registry={"quick": lambda: _result("quick")}
+        )
+        assert runner.run_one("quick").experiment_id == "quick"
+        assert runner.leaked_timeout_threads == 0
+
+
+class TestRunOneDeadline:
+    def test_expired_deadline_refuses_to_start(self):
+        calls = []
+
+        def fn():
+            calls.append(True)
+            return _result("x")
+
+        runner = ExperimentRunner(retries=0, registry={"x": fn})
+        deadline = Deadline.after(0.0)
+        with pytest.raises(ExperimentTimeout, match="not started"):
+            runner.run_one("x", deadline=deadline)
+        assert calls == []
+
+    def test_deadline_bounds_attempt_even_without_configured_timeout(self):
+        def wedged():
+            time.sleep(5.0)
+            return _result("wedged")
+
+        runner = ExperimentRunner(retries=0, registry={"wedged": wedged})
+        start = time.monotonic()
+        with pytest.raises(ExperimentTimeout):
+            runner.run_one("wedged", deadline=Deadline.after(0.2))
+        assert time.monotonic() - start < 2.0
+
+    def test_deadline_stops_the_retry_loop_early(self):
+        calls = []
+
+        def slow_failure():
+            calls.append(True)
+            time.sleep(0.15)
+            raise RuntimeError("failing slowly")
+
+        runner = ExperimentRunner(
+            retries=10, registry={"slow": slow_failure}
+        )
+        with pytest.raises((RuntimeError, ExperimentTimeout)):
+            runner.run_one("slow", deadline=Deadline.after(0.2))
+        assert len(calls) <= 2
+
+    def test_generous_deadline_changes_nothing(self):
+        runner = ExperimentRunner(
+            retries=1, registry={"ok": lambda: _result("ok")}
+        )
+        result = runner.run_one("ok", deadline=Deadline.after(60.0))
+        assert result.experiment_id == "ok"

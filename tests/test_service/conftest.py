@@ -1,0 +1,91 @@
+"""Shared harness: run an ExperimentService on a background thread.
+
+The service is pure asyncio; the tests (and the real CLI clients) are
+blocking code.  The harness owns a thread running ``asyncio.run`` and
+exposes the blocking :class:`~repro.service.client.ServiceClient` plus a
+graceful ``stop()`` that exercises the same drain path as SIGINT.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import ExperimentService, ServiceConfig
+
+
+class ServiceHarness:
+    def __init__(self, config, registry=None):
+        self.config = config
+        self.registry = registry
+        self.service = None
+        self.port = None
+        self._loop = None
+        self._stop = None
+        self._thread = None
+        self._ready = threading.Event()
+        self._error = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(30.0), "service failed to start in time"
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_event_loop()
+        self._stop = asyncio.Event()
+        try:
+            self.service = ExperimentService(
+                self.config, registry=self.registry
+            )
+            await self.service.start()
+            self.port = self.service.port
+        except BaseException as error:  # noqa: BLE001 - surfaced in start()
+            self._error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.service.serve_until(self._stop)
+
+    def stop(self, timeout=30.0):
+        """Graceful drain — the same path a SIGINT takes."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), "service failed to drain"
+
+    def client(self, timeout=15.0):
+        return ServiceClient("127.0.0.1", self.port, timeout=timeout)
+
+
+@pytest.fixture
+def harness_factory(tmp_path):
+    """Build-and-start harnesses; every one is drained at teardown."""
+    started = []
+    counter = [0]
+
+    def factory(registry=None, **overrides):
+        counter[0] += 1
+        overrides.setdefault(
+            "cache_dir", str(tmp_path / f"cache-{counter[0]}")
+        )
+        overrides.setdefault("drain_timeout", 5.0)
+        harness = ServiceHarness(
+            ServiceConfig(**overrides), registry=registry
+        )
+        started.append(harness)
+        return harness.start()
+
+    yield factory
+    for harness in started:
+        harness.stop()

@@ -1,0 +1,82 @@
+"""Load generator: schedule determinism and report arithmetic."""
+
+import pytest
+
+from repro.service.loadgen import LoadReport, build_schedule
+
+
+class TestBuildSchedule:
+    def test_deterministic_in_seed(self):
+        ids = ["a", "b", "c"]
+        assert build_schedule(50, ids, seed=4) == build_schedule(
+            50, ids, seed=4
+        )
+        assert build_schedule(50, ids, seed=4) != build_schedule(
+            50, ids, seed=5
+        )
+
+    def test_repeat_bias_skews_popularity(self):
+        # With heavy repeat bias, a few ids dominate; with none, every
+        # draw is fresh-uniform.
+        ids = [f"x{i}" for i in range(10)]
+        skewed = build_schedule(200, ids, seed=1, repeat_bias=0.9)
+        top_share = max(skewed.count(i) for i in ids) / len(skewed)
+        assert top_share > 0.3
+        flat = build_schedule(200, ids, seed=1, repeat_bias=0.0)
+        assert set(flat) == set(ids)
+
+    def test_only_known_ids_appear(self):
+        ids = ["a", "b"]
+        assert set(build_schedule(100, ids, seed=0)) <= set(ids)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0, "experiment_ids": ["a"]},
+            {"n": 5, "experiment_ids": []},
+            {"n": 5, "experiment_ids": ["a"], "repeat_bias": 1.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            build_schedule(**kwargs)
+
+
+class TestLoadReport:
+    def _report(self, latencies):
+        report = LoadReport()
+        for index, latency in enumerate(latencies):
+            report.record(
+                {"status": "ok", "source": "cache" if index else "pool"},
+                latency,
+            )
+        return report
+
+    def test_percentiles_nearest_rank(self):
+        report = self._report([float(i) for i in range(1, 101)])
+        assert report.p50_ms == 50.0
+        assert report.p99_ms == 99.0
+        assert report.percentile_ms(100.0) == 100.0
+
+    def test_empty_report_is_all_zero(self):
+        report = LoadReport()
+        assert report.p50_ms == 0.0
+        assert report.hit_rate == 0.0
+
+    def test_hit_rate_counts_cache_over_ok(self):
+        report = self._report([1.0, 1.0, 1.0, 1.0])  # 1 pool + 3 cache
+        assert report.hit_rate == 0.75
+
+    def test_degraded_and_statuses_tallied(self):
+        report = LoadReport()
+        report.record({"status": "ok", "degraded": True, "source": "stub"}, 1.0)
+        report.record({"status": "shed"}, 0.1)
+        assert report.degraded == 1
+        assert report.by_status == {"ok": 1, "shed": 1}
+        summary = report.summary()
+        assert summary["total"] == 2
+        assert summary["degraded"] == 1
+
+    def test_percentile_validates_range(self):
+        with pytest.raises(ValueError):
+            self._report([1.0]).percentile_ms(150.0)

@@ -1,0 +1,99 @@
+"""Wire-format validation: every malformed line becomes a clean error."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ServiceError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    Request,
+    encode_line,
+    error_response,
+    parse_request,
+)
+
+
+def _line(payload):
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+class TestParseRequest:
+    def test_minimal_run_request(self):
+        request = parse_request(
+            _line({"op": "run", "experiment_id": "table2"})
+        )
+        assert request == Request(op="run", experiment_id="table2")
+
+    def test_all_fields(self):
+        request = parse_request(
+            _line(
+                {
+                    "op": "run",
+                    "experiment_id": "fig5",
+                    "deadline_ms": 250,
+                    "request_id": "r-1",
+                    "refresh": True,
+                }
+            )
+        )
+        assert request.deadline_ms == 250
+        assert request.request_id == "r-1"
+        assert request.refresh
+
+    def test_ping_and_stats_need_no_experiment(self):
+        assert parse_request(_line({"op": "ping"})).op == "ping"
+        assert parse_request(_line({"op": "stats"})).op == "stats"
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"not json\n",
+            b"[1, 2, 3]\n",
+            b'"just a string"\n',
+            b"\xff\xfe\n",
+        ],
+    )
+    def test_non_object_lines_rejected(self, raw):
+        with pytest.raises(ServiceError):
+            parse_request(raw)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"op": "explode"},
+            {"experiment_id": "table2"},  # no op
+            {"op": "run"},  # run without experiment id
+            {"op": "run", "experiment_id": ""},
+            {"op": "run", "experiment_id": "x", "deadline_ms": "fast"},
+            {"op": "run", "experiment_id": "x", "deadline_ms": -5},
+            {"op": "run", "experiment_id": "x", "deadline_ms": True},
+            {"op": "run", "experiment_id": "x", "request_id": 7},
+            {"op": "run", "experiment_id": "x", "refresh": "yes"},
+        ],
+    )
+    def test_invalid_payloads_rejected(self, payload):
+        with pytest.raises(ServiceError):
+            parse_request(_line(payload))
+
+    def test_overlong_line_rejected(self):
+        padding = "x" * MAX_LINE_BYTES
+        raw = _line({"op": "run", "experiment_id": padding})
+        with pytest.raises(ServiceError, match="exceeds"):
+            parse_request(raw)
+
+
+class TestEncodeLine:
+    def test_canonical_and_newline_terminated(self):
+        line = encode_line({"b": 1, "a": 2})
+        assert line.endswith(b"\n")
+        assert line.index(b'"a"') < line.index(b'"b"')  # sorted keys
+
+    def test_error_response_shape(self):
+        response = error_response("boom", "r-9")
+        assert response["v"] == PROTOCOL_VERSION
+        assert response["status"] == "error"
+        assert response["request_id"] == "r-9"
+        assert response["error"]["type"] == "ServiceError"
+        assert response["error"]["message"] == "boom"

@@ -31,12 +31,42 @@ every check works on *ratios*, which are host-relative:
   rate is a seeded property of the schedule, so unlike wall-clock it
   is comparable across hosts and policed as an absolute floor.
 
+When both files are *leakage reports* instead (canonical JSON from
+``python -m repro.analysis leakage --json``, recognizable by their
+``leakage_version`` key), the script compares them exactly via
+``repro.analysis.leakage.diff_reports``: the defense ranking order
+and every per-cell metric must match the committed
+``benchmarks/LEAKAGE_baseline.json`` bit-for-bit — the numbers are
+host-independent state-space counts, so there is no tolerance.
+
 Exit code 0 when every check passes, 1 otherwise.
 """
 
 import argparse
 import json
+import os
 import sys
+
+
+def _is_leakage_report(path):
+    with open(path) as handle:
+        return "leakage_version" in json.load(handle)
+
+
+def check_leakage_drift(current_path, baseline_path):
+    """Exact drift check between two leakage-analysis artifacts."""
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+    from repro.analysis.leakage import diff_reports
+
+    with open(current_path) as handle:
+        current = json.load(handle)
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    problems = diff_reports(current, baseline)
+    for problem in problems:
+        print(f"LEAKAGE DRIFT: {problem}")
+    print("leakage check:", "FAILED" if problems else "ok")
+    return 1 if problems else 0
 
 
 def load_means(path):
@@ -161,6 +191,20 @@ def main(argv=None):
         "(default: %(default)s)",
     )
     args = parser.parse_args(argv)
+
+    if _is_leakage_report(args.current) or _is_leakage_report(
+        args.baseline
+    ):
+        if not (
+            _is_leakage_report(args.current)
+            and _is_leakage_report(args.baseline)
+        ):
+            print(
+                "cannot compare a leakage report against a "
+                "pytest-benchmark run; pass matching artifacts"
+            )
+            return 1
+        return check_leakage_drift(args.current, args.baseline)
 
     current_means = load_means(args.current)
     baseline_means = load_means(args.baseline)

@@ -272,6 +272,9 @@ def _cmd_request(
     ping: bool = False,
     stats: bool = False,
     timeout: float = 30.0,
+    analyze: str = None,
+    ways: int = 4,
+    defense: str = "none",
 ) -> int:
     import json
 
@@ -282,9 +285,9 @@ def _cmd_request(
         print("request: --port is required (see `serve` output)",
               file=sys.stderr)
         return 2
-    if not (ping or stats) and not experiment_id:
-        print("request: need an experiment id (or --ping/--stats)",
-              file=sys.stderr)
+    if not (ping or stats or analyze) and not experiment_id:
+        print("request: need an experiment id (or --ping/--stats/"
+              "--analyze)", file=sys.stderr)
         return 2
     try:
         with ServiceClient(host, port, timeout=timeout) as client:
@@ -292,6 +295,14 @@ def _cmd_request(
                 response = client.ping()
             elif stats:
                 response = client.stats()
+            elif analyze:
+                response = client.analyze(
+                    analyze,
+                    ways,
+                    defense=defense,
+                    deadline_ms=deadline_ms,
+                    refresh=refresh,
+                )
             else:
                 response = client.request(
                     experiment_id,
@@ -582,6 +593,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="client socket timeout (default: 30.0)",
     )
+    request_parser.add_argument(
+        "--analyze",
+        metavar="POLICY",
+        default=None,
+        help="static leakage analysis of this replacement policy "
+        "instead of running an experiment (zero simulation; "
+        "docs/LEAKAGE.md)",
+    )
+    request_parser.add_argument(
+        "--ways",
+        type=int,
+        default=4,
+        metavar="N",
+        help="associativity for --analyze (default: 4)",
+    )
+    request_parser.add_argument(
+        "--defense",
+        choices=["none", "no-hit-update"],
+        default="none",
+        help="defense model for --analyze (default: none)",
+    )
     demo_parser = sub.add_parser(
         "demo", help="10-second covert-channel sanity check"
     )
@@ -651,6 +683,9 @@ def main(argv: list = None) -> int:
             ping=args.ping,
             stats=args.stats,
             timeout=args.timeout,
+            analyze=args.analyze,
+            ways=args.ways,
+            defense=args.defense,
         )
     return _cmd_demo(sanitize=args.sanitize, engine=args.engine)
 

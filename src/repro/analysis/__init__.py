@@ -22,9 +22,24 @@ those invariants by machine, at two layers:
   set/way and the access-trace tail — at the exact transition that
   corrupted the state.
 
+* **Leakage** — ``python -m repro.analysis leakage`` computes exact
+  information-flow metrics (reachable states, distinguishing-state
+  partitions under hit/miss and victim-way observers, absorbed secrets,
+  channel-capacity bounds) directly from the compiled policy tables —
+  zero simulation (:mod:`repro.analysis.leakage`,
+  :mod:`repro.analysis.reachability`; see ``docs/LEAKAGE.md``).
+
 See ``docs/ANALYSIS.md`` for the rule catalogue and the cost model.
 """
 
+from repro.analysis.leakage import (
+    ANALYTIC_POLICIES,
+    LeakageReport,
+    PolicyLeakage,
+    analyze_matrix,
+    analyze_policy,
+    diff_reports,
+)
 from repro.analysis.lint import (
     FileContext,
     LintFinding,
@@ -58,8 +73,14 @@ from repro.analysis.sanitize import (
 from repro.analysis.trace import AccessTrace
 
 __all__ = [
+    "ANALYTIC_POLICIES",
     "AccessTrace",
     "FAULT_INJECTION_POINTS",
+    "LeakageReport",
+    "PolicyLeakage",
+    "analyze_matrix",
+    "analyze_policy",
+    "diff_reports",
     "FileContext",
     "LintFinding",
     "LintRule",

@@ -8,6 +8,11 @@ Subcommands:
   the command CI runs (``python -m repro.analysis lint src/repro``).
 * ``rules`` — list the registered rule ids with their one-line
   descriptions.
+* ``leakage`` — run the static leakage analyzer over the registered
+  replacement policies (zero simulation; docs/LEAKAGE.md), print the
+  ranked table, optionally write the canonical JSON artifact
+  (``--json``) and/or fail on drift against a committed baseline
+  (``--check benchmarks/LEAKAGE_baseline.json``).
 """
 
 from __future__ import annotations
@@ -41,6 +46,38 @@ def _cmd_lint(paths: List[str], rule_ids: Optional[List[str]]) -> int:
     return 0
 
 
+def _cmd_leakage(args) -> int:
+    import json
+
+    from repro.analysis.leakage import analyze_matrix, diff_reports
+    from repro.replacement.tables import clear_table_cache
+
+    # Start from a clean memo: an earlier experiment in this process may
+    # have compiled the same shapes lazily or under a different budget.
+    clear_table_cache()
+    report = analyze_matrix(
+        policies=args.policies,
+        ways=tuple(args.ways or (4, 8)),
+        defenses=tuple(args.defenses or ("none", "no-hit-update")),
+        eager_budget=args.eager_budget,
+    )
+    print(report.render_table())
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            handle.write(report.to_canonical_json())
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        problems = diff_reports(report.to_dict(), baseline)
+        if problems:
+            for problem in problems:
+                print(f"LEAKAGE DRIFT: {problem}", file=sys.stderr)
+            return 1
+        print(f"no drift against {args.check}", file=sys.stderr)
+    return 0
+
+
 def _cmd_rules() -> int:
     from repro.analysis.rules import RULE_REGISTRY
 
@@ -67,10 +104,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run only this rule (repeatable; default: all rules)",
     )
     sub.add_parser("rules", help="list registered lint rules")
+    leakage_parser = sub.add_parser(
+        "leakage",
+        help="static leakage analysis over compiled policy tables",
+    )
+    leakage_parser.add_argument(
+        "--policy",
+        action="append",
+        dest="policies",
+        metavar="NAME",
+        help="analyze only this policy (repeatable; default: all "
+        "registered policies)",
+    )
+    leakage_parser.add_argument(
+        "--ways",
+        action="append",
+        type=int,
+        metavar="N",
+        help="associativity to analyze (repeatable; default: 4 and 8)",
+    )
+    leakage_parser.add_argument(
+        "--defense",
+        action="append",
+        dest="defenses",
+        choices=("none", "no-hit-update"),
+        help="defense model (repeatable; default: both)",
+    )
+    leakage_parser.add_argument(
+        "--eager-budget",
+        type=int,
+        default=None,
+        metavar="STATES",
+        help="state-space ceiling for exact analysis; shapes whose "
+        "estimate exceeds it are refused (default: the table "
+        "compiler's eager budget)",
+    )
+    leakage_parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write the canonical JSON artifact here",
+    )
+    leakage_parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="fail (exit 1) if metrics or rankings drift from this "
+        "committed baseline JSON",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args.paths, args.rules)
+    if args.command == "leakage":
+        return _cmd_leakage(args)
     return _cmd_rules()
 
 

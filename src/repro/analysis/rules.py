@@ -64,6 +64,15 @@ Each rule enforces one repo-wide structural invariant:
     makes the load-shedding decision for you.  Multiprocessing queues
     are exempt (the supervised executor owns and drains them).
 
+``no-blocking-call-in-async``
+    No synchronous blocking call (``time.sleep``, builtin ``open``,
+    blocking socket constructors, any ``subprocess`` API) inside an
+    ``async def`` body in the service layer (``repro.service``).  One
+    blocking call inside the event loop stalls *every* connection —
+    admission control, heartbeats, and drains included.  Blocking work
+    belongs in a nested sync ``def`` handed to an executor (which the
+    rule deliberately skips).
+
 Rules register through :func:`rule`; external code can add more the
 same way before calling the engine.
 """
@@ -536,6 +545,82 @@ def check_no_unbounded_queue(ctx: FileContext) -> None:
                 "shedding), or `# repro: allow(no-unbounded-queue)` "
                 "with a stated reason",
             )
+
+
+#: Module prefix the async-blocking rule polices: the asyncio service.
+_ASYNC_SCOPE = "repro.service"
+
+#: ``module -> attribute`` calls that block the event loop.
+_BLOCKING_ATTR_CALLS = {
+    "time": {"sleep"},
+    "socket": {"create_connection", "socket", "socketpair"},
+}
+
+
+def _iter_async_body_calls(fn: ast.AsyncFunctionDef):
+    """Yield Call nodes in an async def, skipping nested sync defs.
+
+    A nested synchronous ``def`` is the standard way to package
+    blocking work for ``run_in_executor``, so calls inside one are not
+    event-loop hazards.  Nested ``async def`` bodies stay covered.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@rule(
+    "no-blocking-call-in-async",
+    description="blocking call (sleep/open/socket/subprocess) inside an "
+    "async def in repro.service",
+)
+def check_no_blocking_call_in_async(ctx: FileContext) -> None:
+    if not ctx.module.startswith(_ASYNC_SCOPE):
+        return
+    subprocess_names: Set[str] = set()
+    subprocess_modules: Set[str] = {"subprocess"}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "subprocess":
+                    subprocess_modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == "subprocess":
+            for alias in node.names:
+                subprocess_names.add(alias.asname or alias.name)
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, ast.AsyncFunctionDef):
+            continue
+        for call in _iter_async_body_calls(fn):
+            func = call.func
+            blocked = None
+            if isinstance(func, ast.Name):
+                if func.id == "open":
+                    blocked = "open() performs blocking file I/O"
+                elif func.id in subprocess_names:
+                    blocked = f"subprocess call {func.id}() blocks"
+            elif isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                owner, attr = func.value.id, func.attr
+                if attr in _BLOCKING_ATTR_CALLS.get(owner, ()):
+                    blocked = f"{owner}.{attr}() blocks the event loop"
+                elif owner in subprocess_modules:
+                    blocked = f"subprocess call {owner}.{attr}() blocks"
+            if blocked:
+                ctx.report(
+                    "no-blocking-call-in-async",
+                    call,
+                    f"{blocked} inside async def {fn.name}: one stalled "
+                    "coroutine stalls every connection",
+                    hint="await the asyncio equivalent (asyncio.sleep, "
+                    "open_connection, create_subprocess_exec) or move "
+                    "the work into a sync def run via an executor",
+                )
 
 
 # ----------------------------------------------------------------------

@@ -152,6 +152,34 @@ class ObservabilityError(ReproError):
     """
 
 
+class LeakageAnalysisError(ReproError):
+    """Exact static leakage analysis was requested on an unclosed model.
+
+    The analyzer in ``repro.analysis.leakage`` is exact only over
+    eagerly-closed :class:`~repro.replacement.tables.PolicyTables`; a
+    lazily-grown table set enumerates just the states some workload
+    happened to visit, and any "analysis" over it would silently
+    under-count.  Rather than degrade, the analyzer refuses with this
+    error, carrying the policy shape and the estimated state count so
+    the caller can either raise the eager budget or accept the refusal
+    as a structured result.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        policy: str = "",
+        ways: int = 0,
+        estimated_states=None,
+        eager_budget=None,
+    ):
+        self.policy = policy
+        self.ways = ways
+        self.estimated_states = estimated_states
+        self.eager_budget = eager_budget
+        super().__init__(message)
+
+
 class LintError(ReproError):
     """One or more static-invariant lint findings, as a raisable summary.
 

@@ -374,6 +374,31 @@ METRIC_CATALOG: Dict[str, MetricSpec] = dict(
             "quarantined to <name>.corrupt.",
         ),
         _spec(
+            "analysis.leakage.requests",
+            "counter",
+            "requests",
+            "repro.service.server",
+            "Service `analyze` requests accepted for static leakage "
+            "analysis (before cache lookup).",
+        ),
+        _spec(
+            "analysis.leakage.computed",
+            "counter",
+            "analyses",
+            "repro.service.server",
+            "Leakage analyses computed from the policy tables (cache "
+            "misses), labelled by policy name.",
+            labelled=True,
+        ),
+        _spec(
+            "analysis.leakage.refused",
+            "counter",
+            "requests",
+            "repro.service.server",
+            "Leakage analyses refused because the policy shape's state "
+            "space exceeds the eager budget (open tables).",
+        ),
+        _spec(
             "trace.events.dropped",
             "counter",
             "events",

@@ -28,6 +28,7 @@ can be checked bit-for-bit against it (``tests/test_perf``).
 
 from __future__ import annotations
 
+import inspect
 import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
@@ -129,8 +130,10 @@ class PolicyTables:
         self.initial = self.intern(fresh.state_snapshot())
         estimate = estimated_state_count(policy_name, ways, **kwargs)
         self.eager = estimate is not None and estimate <= eager_budget
+        self._closed = False
         if self.eager:
             self._compile_closure()
+            self._closed = True
 
     # -- state interning -------------------------------------------------
 
@@ -216,6 +219,20 @@ class PolicyTables:
     def state_count(self) -> int:
         return len(self.states)
 
+    @property
+    def is_closed(self) -> bool:
+        """True when the eager breadth-first closure has been computed.
+
+        A closed table set enumerates *every* state reachable from
+        power-on via touch/fill/victim, with all transition entries
+        materialised — the precondition for exact static analysis
+        (``repro.analysis.leakage``).  Lazily-grown tables are never
+        closed: they memoise only the states a workload happened to
+        reach.  (``invalidate`` transitions stay lazy either way; a
+        flush can intern states past the closed core.)
+        """
+        return self._closed
+
     def transition_count(self) -> int:
         """Number of materialised (state, way) transition entries."""
         return sum(
@@ -231,17 +248,70 @@ class PolicyTables:
 
 
 #: Process-wide memo so every set of a cache shares one table object.
-_TABLE_CACHE: Dict[Tuple[str, int, Tuple[Tuple[str, Any], ...]], PolicyTables] = {}
+_TABLE_CACHE: Dict[Tuple[Any, ...], PolicyTables] = {}
+
+
+def _effective_parameters(
+    policy_name: str, ways: int, kwargs: Dict[str, Any]
+) -> Tuple[Tuple[str, Any], ...]:
+    """Canonical constructor parameters for the memo key.
+
+    Binding through the reference constructor's signature (defaults
+    applied) makes ``compile_tables("srrip", 4)`` and
+    ``compile_tables("srrip", 4, rrpv_bits=2)`` share one table object,
+    while genuinely different parameterizations never collide.
+    """
+    cls = TABLEABLE_POLICIES[policy_name]
+    try:
+        bound = inspect.signature(cls.__init__).bind(None, ways, **kwargs)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"cannot compile tables for {policy_name!r}: {error}"
+        ) from None
+    bound.apply_defaults()
+    params = []
+    for name, value in bound.arguments.items():
+        if name in ("self", "ways"):
+            continue
+        if bound.signature.parameters[name].kind is inspect.Parameter.VAR_KEYWORD:
+            params.extend(sorted(value.items()))
+            continue
+        params.append((name, value))
+    for name, value in params:
+        try:
+            hash(value)
+        except TypeError:
+            raise ConfigurationError(
+                f"policy parameter {name}={value!r} is unhashable and "
+                f"cannot key the table memo; pass a hashable value"
+            ) from None
+    return tuple(sorted(params))
 
 
 def compile_tables(
-    policy_name: str, ways: int, **kwargs: Any
+    policy_name: str,
+    ways: int,
+    eager_budget: Optional[int] = None,
+    **kwargs: Any,
 ) -> PolicyTables:
-    """Return (building if needed) the shared tables for a policy shape."""
-    key = (policy_name, ways, tuple(sorted(kwargs.items())))
+    """Return (building if needed) the shared tables for a policy shape.
+
+    The memo key covers the policy class identity, associativity, the
+    *effective* constructor parameters (defaults applied), and any
+    non-default ``eager_budget``, so parameterized or defended variants
+    never silently share interned tables.
+    """
+    if policy_name not in TABLEABLE_POLICIES:
+        raise ConfigurationError(
+            f"policy {policy_name!r} cannot be table-compiled; "
+            f"choose from {sorted(TABLEABLE_POLICIES)}"
+        )
+    params = _effective_parameters(policy_name, ways, kwargs)
+    budget = EAGER_STATE_BUDGET if eager_budget is None else eager_budget
+    key = (policy_name, TABLEABLE_POLICIES[policy_name], ways, params, budget)
     tables = _TABLE_CACHE.get(key)
     if tables is None:
-        tables = PolicyTables(policy_name, ways, **kwargs)
+        tables = PolicyTables(policy_name, ways, eager_budget=budget, **kwargs)
         _TABLE_CACHE[key] = tables
     return tables
 

@@ -117,6 +117,36 @@ class ServiceClient:
             payload["refresh"] = True
         return self.roundtrip(payload)
 
+    def analyze(
+        self,
+        policy: str,
+        ways: int,
+        defense: str = "none",
+        deadline_ms: Optional[float] = None,
+        request_id: str = "",
+        refresh: bool = False,
+    ) -> Dict:
+        """Static leakage analysis of one policy shape (zero simulation).
+
+        The response's ``result`` is a
+        ``repro.analysis.leakage.PolicyLeakage`` dict; a state space
+        beyond the server's eager budget arrives as a structured
+        refusal (``result["mode"] == "refused"``), not an error.
+        """
+        payload: Dict = {
+            "op": "analyze",
+            "policy": policy,
+            "ways": ways,
+            "defense": defense,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if request_id:
+            payload["request_id"] = request_id
+        if refresh:
+            payload["refresh"] = True
+        return self.roundtrip(payload)
+
     def ping(self) -> Dict:
         return self.roundtrip({"op": "ping"})
 

@@ -10,11 +10,23 @@ Request shape::
     {"op": "run", "experiment_id": "table2", "deadline_ms": 5000,
      "request_id": "r-17", "refresh": false}
 
-``op`` is ``run`` (execute or serve from cache), ``ping`` (liveness), or
-``stats`` (metrics/breaker/queue snapshot).  ``deadline_ms`` is the
-end-to-end budget the whole request — queueing, attempts, retries — must
-fit into; ``refresh`` bypasses the cache *read* (the result is still
-written back).
+``op`` is ``run`` (execute or serve from cache), ``ping`` (liveness),
+``stats`` (metrics/breaker/queue snapshot), or ``analyze`` (static
+leakage analysis of a replacement policy — zero simulation; see
+``docs/LEAKAGE.md``).  ``deadline_ms`` is the end-to-end budget the
+whole request — queueing, attempts, retries — must fit into;
+``refresh`` bypasses the cache *read* (the result is still written
+back).
+
+An ``analyze`` request names a policy shape instead of an experiment::
+
+    {"op": "analyze", "policy": "lru", "ways": 4, "defense": "none",
+     "deadline_ms": 2000, "request_id": "a-3"}
+
+The response's ``result`` is one leakage entry
+(``repro.analysis.leakage.PolicyLeakage.to_dict``); a shape whose
+state space exceeds the eager budget comes back ``status=ok`` with
+``result.mode == "refused"`` — a structured refusal, not an error.
 
 Response statuses:
 
@@ -49,7 +61,16 @@ MAX_LINE_BYTES = 1_048_576
 PROTOCOL_VERSION = 1
 
 #: Operations a request may name.
-OPS = ("run", "ping", "stats")
+OPS = ("run", "ping", "stats", "analyze")
+
+#: Defense models the ``analyze`` op accepts (mirrors
+#: ``repro.analysis.reachability.DEFENSES``, kept literal here so the
+#: wire layer does not import the analysis stack).
+ANALYZE_DEFENSES = ("none", "no-hit-update")
+
+#: Associativity bound for ``analyze`` (matches the simulator's caches;
+#: a request beyond it is malformed, not refused).
+MAX_ANALYZE_WAYS = 64
 
 #: Response statuses a client may see (documented above).
 STATUSES = ("ok", "rejected", "shed", "draining", "error", "pong", "stats")
@@ -64,6 +85,9 @@ class Request:
     deadline_ms: Optional[float] = None
     request_id: str = ""
     refresh: bool = False
+    policy: str = ""
+    ways: int = 0
+    defense: str = "none"
 
 
 def parse_request(line: bytes) -> Request:
@@ -110,12 +134,32 @@ def parse_request(line: bytes) -> Request:
     refresh = data.get("refresh", False)
     if not isinstance(refresh, bool):
         raise ServiceError("refresh must be a boolean")
+    policy = data.get("policy", "")
+    ways = data.get("ways", 0)
+    defense = data.get("defense", "none")
+    if op == "analyze":
+        if not isinstance(policy, str) or not policy:
+            raise ServiceError("op 'analyze' requires a non-empty policy")
+        if isinstance(ways, bool) or not isinstance(ways, int):
+            raise ServiceError(f"ways must be an integer, got {ways!r}")
+        if ways < 1 or ways > MAX_ANALYZE_WAYS:
+            raise ServiceError(
+                f"ways must be in [1, {MAX_ANALYZE_WAYS}], got {ways}"
+            )
+        if defense not in ANALYZE_DEFENSES:
+            raise ServiceError(
+                f"unknown defense {defense!r}; expected one of "
+                f"{ANALYZE_DEFENSES}"
+            )
     return Request(
         op=op,
         experiment_id=experiment_id if isinstance(experiment_id, str) else "",
         deadline_ms=deadline_ms,
         request_id=request_id,
         refresh=refresh,
+        policy=policy if isinstance(policy, str) else "",
+        ways=ways if isinstance(ways, int) else 0,
+        defense=defense if isinstance(defense, str) else "none",
     )
 
 

@@ -466,6 +466,12 @@ class ExperimentService:
         self.server: Optional[asyncio.AbstractServer] = None
         self.port: Optional[int] = None
         self.draining = False
+        # Static leakage analyses are CPU-bound pure Python; one
+        # dedicated thread keeps them off the loop *and* serialised, so
+        # an analyze burst cannot starve experiment pools.
+        self._analysis_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="svc-analysis"
+        )
         # Created inside start() — asyncio primitives must be born on
         # the loop they are awaited on (Python 3.9 binds at creation).
         self._drained: Optional[asyncio.Event] = None
@@ -530,6 +536,7 @@ class ExperimentService:
                         }
                     )
         self.cache.flush()
+        self._analysis_executor.shutdown(wait=False)
         if self.server is not None:
             self.server.close()
             await self.server.wait_closed()
@@ -596,6 +603,16 @@ class ExperimentService:
             return self._base(request, "pong")
         if request.op == "stats":
             return self._stats(request)
+        if request.op == "analyze":
+            with self.session.span(
+                "service.request",
+                experiment_id=(
+                    f"analyze/{request.policy}/{request.ways}/"
+                    f"{request.defense}"
+                ),
+                request_id=request.request_id,
+            ):
+                return await self._dispatch_analyze(request)
         with self.session.span(
             "service.request",
             experiment_id=request.experiment_id,
@@ -672,6 +689,152 @@ class ExperimentService:
             request, key, outcome, start, pool=pool, record_breaker=True
         )
         return response
+
+    async def _dispatch_analyze(self, request: Request) -> Dict:
+        """The zero-simulation analytic endpoint (ROADMAP item 2).
+
+        Same admission, deadline, cache, and singleflight rules as
+        ``run``, but execution is a static table walk on a dedicated
+        analysis thread — no experiment pool, no breaker (there is no
+        flaky dependency to trip on: the analysis is deterministic).
+        A shape whose state space exceeds the eager budget is served as
+        a *structured refusal* (``result.mode == "refused"``), cached
+        like any other answer.
+        """
+        start = time.monotonic()
+        if self.draining:
+            return self._base(request, "draining")
+        if not self._analyzable(request.policy):
+            return error_response(
+                f"unknown or non-analyzable policy {request.policy!r}",
+                request.request_id,
+            )
+        if not self.bucket.try_take():
+            self.metrics.counter("service.requests.rejected").inc()
+            response = self._base(request, "rejected")
+            response["retry_after_ms"] = round(
+                self.bucket.retry_after() * 1000.0, 3
+            )
+            return response
+        self.metrics.counter("service.requests.admitted").inc()
+        self.metrics.counter("analysis.leakage.requests").inc()
+        key = self._analysis_key(
+            request.policy, request.ways, request.defense
+        )
+        if not request.refresh:
+            payload = self.cache.get_payload(key)
+            if payload is not None:
+                return self._ok(
+                    request, key, payload, source="cache", start=start
+                )
+        deadline = deadline_from_ms(request.deadline_ms)
+        if deadline is not None and deadline.remaining() <= 0:
+            self.metrics.counter("service.requests.degraded").inc()
+            return self._degraded(
+                request,
+                key,
+                start,
+                error={
+                    "type": "ExperimentTimeout",
+                    "message": "deadline expired before analysis",
+                },
+            )
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            outcome = await asyncio.shield(inflight)
+            return self._finish_analyze(request, key, dict(outcome), start)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            outcome = await loop.run_in_executor(
+                self._analysis_executor,
+                self._run_analysis,
+                request.policy,
+                request.ways,
+                request.defense,
+            )
+        except Exception as error:  # noqa: BLE001 - surfaced as degraded
+            outcome = {
+                "ok": False,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                },
+            }
+        finally:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_result(outcome)
+        return self._finish_analyze(request, key, outcome, start)
+
+    @staticmethod
+    def _analyzable(policy: str) -> bool:
+        from repro.analysis.leakage import ANALYTIC_POLICIES, SKIPPED_POLICIES
+        from repro.replacement import POLICY_REGISTRY
+        from repro.replacement.tables import TABLEABLE_POLICIES
+
+        if policy in SKIPPED_POLICIES:
+            return False
+        return (
+            policy in POLICY_REGISTRY
+            or policy in TABLEABLE_POLICIES
+            or policy in ANALYTIC_POLICIES
+        )
+
+    @staticmethod
+    def _run_analysis(policy: str, ways: int, defense: str) -> Dict:
+        """Executed on the analysis thread; returns a run-style outcome."""
+        from repro.analysis.leakage import analyze_policy
+
+        try:
+            entry = analyze_policy(policy, ways, defense=defense)
+        except Exception as error:  # noqa: BLE001 - becomes degraded
+            return {
+                "ok": False,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                },
+            }
+        return {"ok": True, "result": entry.to_dict()}
+
+    def _finish_analyze(
+        self, request: Request, key: str, outcome: Dict, start: float
+    ) -> Dict:
+        if outcome.get("ok"):
+            payload = outcome.get("payload")
+            if payload is None:
+                result = outcome["result"]
+                if result.get("mode") == "refused":
+                    self.metrics.counter("analysis.leakage.refused").inc()
+                else:
+                    self.metrics.counter(
+                        "analysis.leakage.computed", label=request.policy
+                    ).inc()
+                payload = self.cache.put(key, {"key": key, "result": result})
+                outcome["payload"] = payload
+                self._maybe_corrupt(key)
+            return self._ok(
+                request, key, payload, source="analysis", start=start
+            )
+        self.metrics.counter("service.requests.degraded").inc()
+        return self._degraded(request, key, start, error=outcome.get("error"))
+
+    def _analysis_key(self, policy: str, ways: int, defense: str) -> str:
+        from repro.replacement.tables import EAGER_STATE_BUDGET
+
+        return request_key(
+            key_fields(
+                experiment_id=(
+                    f"analyze/{policy}/ways={ways}/defense={defense}/"
+                    f"budget={EAGER_STATE_BUDGET}"
+                ),
+                seed=0,
+                engine="static-analysis",
+                sanitize=False,
+            )
+        )
 
     def _finish(
         self,

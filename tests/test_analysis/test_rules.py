@@ -397,6 +397,123 @@ class TestNoUnboundedQueue:
         assert _rule_hits(source, rules=["no-unbounded-queue"]) == []
 
 
+class TestNoBlockingCallInAsync:
+    SERVICE_PATH = "src/repro/service/example.py"
+
+    def test_flags_blocking_calls_in_async_def(self):
+        source = (
+            "import time\n"
+            "import socket\n"
+            "async def handle(reader, writer):\n"
+            "    time.sleep(0.1)\n"
+            "    data = open('x').read()\n"
+            "    sock = socket.create_connection(('h', 1))\n"
+        )
+        hits = _rule_hits(
+            source, self.SERVICE_PATH, rules=["no-blocking-call-in-async"]
+        )
+        assert [line for _, line in hits] == [4, 5, 6]
+        assert all(
+            rule_id == "no-blocking-call-in-async" for rule_id, _ in hits
+        )
+
+    def test_flags_subprocess_calls_and_aliases(self):
+        source = (
+            "import subprocess\n"
+            "from subprocess import run as sh\n"
+            "async def spawn():\n"
+            "    subprocess.check_output(['ls'])\n"
+            "    sh(['ls'])\n"
+        )
+        hits = _rule_hits(
+            source, self.SERVICE_PATH, rules=["no-blocking-call-in-async"]
+        )
+        assert [line for _, line in hits] == [4, 5]
+
+    def test_nested_sync_def_is_exempt(self):
+        # A sync helper defined inside an async def runs wherever the
+        # caller puts it (typically an executor thread): not flagged.
+        source = (
+            "import time\n"
+            "async def handle():\n"
+            "    def blocking_work():\n"
+            "        time.sleep(1.0)\n"
+            "        return open('x').read()\n"
+            "    return blocking_work\n"
+        )
+        assert (
+            _rule_hits(
+                source,
+                self.SERVICE_PATH,
+                rules=["no-blocking-call-in-async"],
+            )
+            == []
+        )
+
+    def test_sync_code_and_other_packages_are_exempt(self):
+        blocking = (
+            "import time\n"
+            "def handle():\n"
+            "    time.sleep(0.1)\n"
+            "    return open('x').read()\n"
+        )
+        # Sync function in scope: fine.
+        assert (
+            _rule_hits(
+                blocking,
+                self.SERVICE_PATH,
+                rules=["no-blocking-call-in-async"],
+            )
+            == []
+        )
+        # Async function outside repro.service: out of scope.
+        async_elsewhere = (
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert (
+            _rule_hits(
+                async_elsewhere,
+                "src/repro/experiments/runner.py",
+                rules=["no-blocking-call-in-async"],
+            )
+            == []
+        )
+
+    def test_async_socket_wrappers_are_fine(self):
+        source = (
+            "import asyncio\n"
+            "async def handle():\n"
+            "    await asyncio.sleep(0.1)\n"
+            "    r, w = await asyncio.open_connection('h', 1)\n"
+        )
+        assert (
+            _rule_hits(
+                source,
+                self.SERVICE_PATH,
+                rules=["no-blocking-call-in-async"],
+            )
+            == []
+        )
+
+    def test_allow_comment_suppresses(self):
+        source = (
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(0.1)"
+            "  # repro: allow(no-blocking-call-in-async)\n"
+        )
+        assert (
+            _rule_hits(
+                source,
+                self.SERVICE_PATH,
+                rules=["no-blocking-call-in-async"],
+            )
+            == []
+        )
+
+
 class TestRegistry:
     def test_every_advertised_rule_is_registered(self):
         expected = {
@@ -410,6 +527,7 @@ class TestRegistry:
             "no-bare-pool",
             "metric-registered",
             "no-unbounded-queue",
+            "no-blocking-call-in-async",
         }
         assert expected <= set(RULE_REGISTRY)
 

@@ -90,6 +90,7 @@ _METRIC_DOCS = (
     "docs/OBSERVABILITY.md",
     "docs/PAPER_MAP.md",
     "docs/SERVICE.md",
+    "docs/LEAKAGE.md",
 )
 
 #: Trace span/event names (not metrics, but share metric domains).
@@ -206,6 +207,10 @@ class TestCliFlagDrift:
         "--update-doc",
         "--check-doc",
         "--catalog",
+        # python -m repro.analysis leakage (the static analyzer CLI):
+        "--policy",
+        "--eager-budget",
+        "--json",
     }
 
     @pytest.mark.parametrize(
@@ -219,6 +224,7 @@ class TestCliFlagDrift:
             "docs/FAULTS.md",
             "docs/RESILIENCE.md",
             "docs/SERVICE.md",
+            "docs/LEAKAGE.md",
         ],
     )
     def test_documented_repro_flags_exist(self, name):

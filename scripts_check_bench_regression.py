@@ -18,6 +18,12 @@ every check works on *ratios*, which are host-relative:
   uses a lower floor to absorb shared-runner noise), and may not fall
   more than ``--tolerance`` (default 25%) below the committed
   baseline's speedup;
+* every algorithm's *batch*-engine speedup (scalar-fast mean / batch
+  mean, from paired ``benchmarks/test_bench_batch.py`` runs carrying a
+  ``trials`` count in ``extra_info``) must reach
+  ``--min-batch-speedup`` (default 10x; the committed
+  ``benchmarks/BENCH_batch.json`` baseline shows >= 50x) and may not
+  fall more than ``--tolerance`` below the committed baseline's ratio;
 * the supervised executor's fault-free overhead (supervised mean /
   bare-``Pool`` mean, per workload) may not exceed
   ``--max-exec-overhead`` (default 10%) — or, when the committed
@@ -91,6 +97,26 @@ def speedups(means):
         algorithm: engines["reference"] / engines["fast"]
         for algorithm, engines in by_algorithm.items()
         if "reference" in engines and "fast" in engines
+    }
+
+
+def batch_engine_speedups(means):
+    """algorithm -> scalar-fast mean / batch mean, for paired trial benches.
+
+    Pairs come from ``benchmarks/test_bench_batch.py``; they carry a
+    ``trials`` count in ``extra_info``, which keeps them out of the
+    reference/fast pairing above.
+    """
+    by_algorithm = {}
+    for name, (mean, extra) in means.items():
+        algorithm = extra.get("algorithm")
+        engine = extra.get("engine")
+        if algorithm and engine and "trials" in extra:
+            by_algorithm.setdefault(algorithm, {})[engine] = mean
+    return {
+        algorithm: engines["fast"] / engines["batch"]
+        for algorithm, engines in by_algorithm.items()
+        if "fast" in engines and "batch" in engines
     }
 
 
@@ -177,6 +203,13 @@ def main(argv=None):
         "(default: %(default)s)",
     )
     parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=10.0,
+        help="absolute floor for every batch-engine speedup over the "
+        "scalar fast engine (default: %(default)s)",
+    )
+    parser.add_argument(
         "--max-exec-overhead",
         type=float,
         default=0.10,
@@ -213,9 +246,17 @@ def main(argv=None):
     current_exec = exec_overheads(current_means)
     baseline_exec = exec_overheads(baseline_means)
     current_service = service_reports(current_means)
-    if not current and not current_exec and not current_service:
+    current_batch = batch_engine_speedups(current_means)
+    baseline_batch = batch_engine_speedups(baseline_means)
+    if (
+        not current
+        and not current_exec
+        and not current_service
+        and not current_batch
+    ):
         print(
-            "no engine, executor, or service benchmarks in the current run"
+            "no engine, executor, service, or batch benchmarks in the "
+            "current run"
         )
         return 1
 
@@ -232,6 +273,24 @@ def main(argv=None):
                 failed = True
         if speedup < args.min_speedup:
             line += f"  BELOW MINIMUM {args.min_speedup:.2f}x"
+            failed = True
+        print(line)
+
+    for algorithm in sorted(current_batch):
+        speedup = current_batch[algorithm]
+        line = (
+            f"{algorithm}: batch engine speedup {speedup:.2f}x over "
+            f"scalar-fast"
+        )
+        reference = baseline_batch.get(algorithm)
+        if reference is not None:
+            floor = reference * (1.0 - args.tolerance)
+            line += f" (baseline {reference:.2f}x, floor {floor:.2f}x)"
+            if speedup < floor:
+                line += "  REGRESSION"
+                failed = True
+        if speedup < args.min_batch_speedup:
+            line += f"  BELOW MINIMUM {args.min_batch_speedup:.2f}x"
             failed = True
         print(line)
 

@@ -35,9 +35,13 @@ during the run is wrapped in the invariant-checking proxies of
 ``InvariantViolation`` at the offending transition.  The companion
 static checks live under ``python -m repro.analysis lint``.
 
-Both also accept ``--engine {reference,fast}``: the table-driven fast
-engine is bit-identical to the reference one (``docs/PERFORMANCE.md``)
-and is the way to make big sweeps cheap.
+Both also accept ``--engine {reference,fast,batch}``: the table-driven
+fast engine is bit-identical to the reference one
+(``docs/PERFORMANCE.md``) and is the way to make big sweeps cheap;
+``batch`` adds vectorized multi-trial entry points on top of the fast
+scalar paths.  ``run <alg1|alg2> --trials N`` runs N independent
+channel transfers through the lockstep batch engine
+(``repro.sim.batch``) in checkpointable blocks.
 """
 
 from __future__ import annotations
@@ -64,20 +68,32 @@ def _cmd_run(
     retries: int = 1,
     checkpoint: str = None,
     sanitize: bool = False,
-    jobs: int = 1,
+    jobs: int = None,
     engine: str = None,
     trace: str = None,
     max_task_crashes: int = 3,
     heartbeat_interval: float = 1.0,
     drain_timeout: float = 10.0,
+    trials: int = 0,
+    block_size: int = 256,
 ) -> int:
     if engine is not None:
         from repro.sim.fastpath import set_default_engine
 
         set_default_engine(engine)
     from repro.experiments import EXPERIMENT_REGISTRY
-    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.runner import ExperimentRunner, auto_jobs
 
+    if jobs is None:
+        jobs = auto_jobs()
+    if trials:
+        return _cmd_run_trials(
+            ids,
+            trials,
+            block_size=block_size,
+            checkpoint=checkpoint,
+            trace=trace,
+        )
     chosen = sorted(EXPERIMENT_REGISTRY) if ids == ["all"] else ids
     unknown = [i for i in chosen if i not in EXPERIMENT_REGISTRY]
     if unknown:
@@ -117,6 +133,62 @@ def _cmd_run(
         print(f"trace written to {written}")
     if report.interrupted:
         return 130
+    return 0 if report.ok else 1
+
+
+def _cmd_run_trials(
+    ids: list,
+    trials: int,
+    block_size: int = 256,
+    checkpoint: str = None,
+    trace: str = None,
+) -> int:
+    """``run <algorithm> --trials N``: lockstep multi-trial transfers."""
+    from repro.experiments.runner import ExperimentRunner
+    from repro.sim.batch import BATCH_CHANNELS
+
+    if len(ids) != 1 or ids[0] not in BATCH_CHANNELS:
+        print(
+            f"--trials needs exactly one channel algorithm "
+            f"({', '.join(sorted(BATCH_CHANNELS))}), got: {' '.join(ids)}",
+            file=sys.stderr,
+        )
+        return 2
+    algorithm = ids[0]
+
+    def show_block(result, elapsed):
+        rates = [row[2] for row in result.rows]
+        mean = sum(rates) / len(rates)
+        tag = f"({elapsed:.1f}s)" if elapsed > 0 else "(restored)"
+        print(
+            f"  {result.experiment_id}: {len(result.rows)} trials, "
+            f"mean BER {mean:.4f} {tag}"
+        )
+
+    def show_failure(failure):
+        print(failure.render(), file=sys.stderr)
+
+    runner = ExperimentRunner(
+        checkpoint_path=checkpoint, trace_path=trace, observe=True
+    )
+    print(f"{algorithm}: {trials} trials in blocks of {block_size}")
+    report = runner.run_trials(
+        algorithm,
+        trials,
+        block_size=block_size,
+        on_result=show_block,
+        on_failure=show_failure,
+    )
+    rows = [row for result in report.results for row in result.rows]
+    if rows:
+        overall = sum(row[2] for row in rows) / len(rows)
+        print(f"overall: {len(rows)} trials, mean BER {overall:.4f}")
+    written = runner.write_trace(
+        report, [r.experiment_id for r in report.results]
+    )
+    print(f"summary: {report.summary()}")
+    if written is not None:
+        print(f"trace written to {written}")
     return 0 if report.ok else 1
 
 
@@ -275,6 +347,7 @@ def _cmd_request(
     analyze: str = None,
     ways: int = 4,
     defense: str = "none",
+    trials: int = 0,
 ) -> int:
     import json
 
@@ -308,6 +381,7 @@ def _cmd_request(
                     experiment_id,
                     deadline_ms=deadline_ms,
                     refresh=refresh,
+                    trials=trials,
                 )
     except (OSError, ServiceError) as error:
         print(f"request: {error}", file=sys.stderr)
@@ -362,19 +436,37 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
         help="worker processes for the batch; experiments are seeded "
         "deterministically so results match a sequential run "
-        "(default: 1)",
+        "(default: os.cpu_count(); values above it warn and time-slice)",
     )
     run_parser.add_argument(
         "--engine",
-        choices=["reference", "fast"],
+        choices=["reference", "fast", "batch"],
         default=None,
         help="simulation engine; 'fast' uses precompiled replacement "
-        "tables, bit-identical to 'reference' (default: reference, or "
-        "the REPRO_ENGINE environment variable)",
+        "tables, bit-identical to 'reference'; 'batch' additionally "
+        "vectorizes multi-trial runs (default: reference, or the "
+        "REPRO_ENGINE environment variable)",
+    )
+    run_parser.add_argument(
+        "--trials",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N independent channel transfers through the lockstep "
+        "batch engine instead of registered experiments; the positional "
+        "id names the algorithm (alg1 or alg2)",
+    )
+    run_parser.add_argument(
+        "--block-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="lockstep batch width per checkpointable block under "
+        "--trials; results never depend on it (default: 256)",
     )
     run_parser.add_argument(
         "--trace",
@@ -537,7 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--engine",
-        choices=["reference", "fast"],
+        choices=["reference", "fast", "batch"],
         default=None,
         help="simulation engine for served experiments (default: "
         "reference, or the REPRO_ENGINE environment variable)",
@@ -614,6 +706,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         help="defense model for --analyze (default: none)",
     )
+    request_parser.add_argument(
+        "--trials",
+        type=int,
+        default=0,
+        metavar="N",
+        help="multi-trial batch request: the positional id names a "
+        "channel algorithm (alg1/alg2) and the server runs N lockstep "
+        "transfers through the vectorized batch engine",
+    )
     demo_parser = sub.add_parser(
         "demo", help="10-second covert-channel sanity check"
     )
@@ -624,7 +725,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo_parser.add_argument(
         "--engine",
-        choices=["reference", "fast"],
+        choices=["reference", "fast", "batch"],
         default=None,
         help="simulation engine for the demo machine",
     )
@@ -648,6 +749,8 @@ def main(argv: list = None) -> int:
             max_task_crashes=args.max_task_crashes,
             heartbeat_interval=args.heartbeat_interval,
             drain_timeout=args.drain_timeout,
+            trials=args.trials,
+            block_size=args.block_size,
         )
     if args.command == "report":
         return _cmd_report(
@@ -686,6 +789,7 @@ def main(argv: list = None) -> int:
             analyze=args.analyze,
             ways=args.ways,
             defense=args.defense,
+            trials=args.trials,
         )
     return _cmd_demo(sanitize=args.sanitize, engine=args.engine)
 

@@ -155,36 +155,28 @@ def build_system(
         )
     tables = require_closed(policy_name, ways, eager_budget, **kwargs)
     n = tables.state_count
+    # The dense form is shared with the batch engine: PolicyTables
+    # memoises one TableArrays snapshot per closed table set, and this
+    # system is a frozen (tuple-typed, defense-adjusted) view of it.
+    arrays = tables.as_arrays()
     if defense == "no-hit-update":
         # Hits leave replacement state untouched: the hit channel the
         # paper exploits (Section IV) is closed by construction.
         touch = tuple(s for s in range(n) for _ in range(ways))
     else:
-        touch = tuple(
-            tables.touch_to(s, w) for s in range(n) for w in range(ways)
-        )
-    fill = tuple(tables.fill_to(s, w) for s in range(n) for w in range(ways))
-    victim_way = []
-    evict_to = []
-    for s in range(n):
-        way, after_search = tables.victim_of(s)
-        victim_way.append(way)
-        evict_to.append(tables.fill_to(after_search, way))
-    prepared = tables.initial
-    for w in range(ways):
-        prepared = tables.fill_to(prepared, w)
+        touch = tuple(int(s) for s in arrays.touch)
     return ClosedTransitionSystem(
         policy_name=policy_name,
         display_name=tables.display_name,
         ways=ways,
         defense=defense,
         n=n,
-        initial=tables.initial,
-        prepared=prepared,
+        initial=arrays.initial,
+        prepared=arrays.prepared,
         touch=touch,
-        fill=fill,
-        victim_way=tuple(victim_way),
-        evict_to=tuple(evict_to),
+        fill=tuple(int(s) for s in arrays.fill),
+        victim_way=tuple(int(w) for w in arrays.victim_way),
+        evict_to=tuple(int(s) for s in arrays.evict_to),
         state_bits=tables.state_bits,
     )
 

@@ -64,6 +64,13 @@ Each rule enforces one repo-wide structural invariant:
     makes the load-shedding decision for you.  Multiprocessing queues
     are exempt (the supervised executor owns and drains them).
 
+``no-scalar-loop-in-batch``
+    The vectorized batch engine (``repro.sim.batch``) exists to keep
+    the per-trial axis out of the Python interpreter; a ``for`` loop
+    over trials inside it silently reintroduces the scalar cost the
+    module was built to remove.  The deliberate open-table fallback
+    carries an explicit ``# repro: allow(no-scalar-loop-in-batch)``.
+
 ``no-blocking-call-in-async``
     No synchronous blocking call (``time.sleep``, builtin ``open``,
     blocking socket constructors, any ``subprocess`` API) inside an
@@ -284,6 +291,50 @@ def check_no_wallclock(ctx: FileContext) -> None:
                     hint="simulated time comes from the scheduler; use "
                     "time.monotonic for duration measurement",
                 )
+
+
+#: Module the scalar-loop rule polices: the one whose whole point is
+#: that the trial axis lives in numpy, not in Python loops.
+_BATCH_MODULE = "repro.sim.batch"
+
+
+def _mentions_trial(node: ast.AST) -> bool:
+    """Whether any name/attribute in the expression names the trial axis."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "trial" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "trial" in sub.attr.lower():
+            return True
+    return False
+
+
+@rule(
+    "no-scalar-loop-in-batch",
+    description="per-trial Python loop inside the vectorized batch engine",
+)
+def check_no_scalar_loop_in_batch(ctx: FileContext) -> None:
+    """Flag ``for`` loops over the trial axis in ``repro.sim.batch``.
+
+    Loops over bit positions or channel addresses are fine (those axes
+    are short and schedule-ordered); a loop whose target or iterable
+    names trials is the scalar path the module exists to avoid.  A
+    deliberate fallback (the open-table path) is opted out with
+    ``# repro: allow(no-scalar-loop-in-batch)`` on the loop line.
+    """
+    if ctx.module != _BATCH_MODULE:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.For):
+            continue
+        if _mentions_trial(node.target) or _mentions_trial(node.iter):
+            ctx.report(
+                "no-scalar-loop-in-batch",
+                node,
+                "Python for-loop over the trial axis in the batch engine",
+                hint="vectorize with masked numpy gathers over the trial "
+                "axis; a deliberate scalar fallback takes "
+                "`# repro: allow(no-scalar-loop-in-batch)`",
+            )
 
 
 #: Attributes owned by the scheduler layer's cycle accounting.

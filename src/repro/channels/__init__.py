@@ -17,6 +17,11 @@ from repro.channels.addresses import (
 from repro.channels.algorithm1 import SharedMemoryLRUChannel
 from repro.channels.algorithm2 import NoSharedMemoryLRUChannel
 from repro.channels.base import LRUChannel
+from repro.channels.batch_decode import (
+    batch_error_rates,
+    batch_threshold,
+    decode_latency_matrix,
+)
 from repro.channels.decoder import (
     majority_filter,
     moving_average_decode,
@@ -63,8 +68,11 @@ __all__ = [
     "ParallelTransferResult",
     "ProtocolConfig",
     "SharedMemoryLRUChannel",
+    "batch_error_rates",
+    "batch_threshold",
     "bsc_capacity",
     "capacity_bits_per_second",
+    "decode_latency_matrix",
     "evaluate_hyper_threaded",
     "hamming74_decode",
     "hamming74_encode",

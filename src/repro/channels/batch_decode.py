@@ -1,0 +1,72 @@
+"""Vectorized Algorithm 1/2 receiver decode (batch-engine half).
+
+The scalar receiver (:mod:`repro.channels.decoder`,
+:class:`~repro.timing.measurement.PointerChase`) times one probe per
+bit and compares it against the midpoint threshold between the all-hit
+and target-miss pointer-chase totals.  The batch engine produces a
+whole ``(trials, bits)`` latency matrix at once, so this module applies
+the same decision rule as array ops: one threshold comparison and one
+polarity flip decode every trial of every bit in two vectorized
+operations.
+
+The threshold math mirrors
+:meth:`repro.timing.measurement.PointerChase.hit_miss_threshold`
+exactly — the batch engine's differential guarantee (bit-identical to
+the fast engine per trial) extends through the decode stage only
+because both halves share one decision rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timing.tsc import TSCSpec
+
+
+def batch_threshold(
+    hit_latency: float,
+    miss_latency: float,
+    spec: TSCSpec,
+    chain_length: int = 7,
+) -> float:
+    """Hit/miss decision threshold for a pointer-chase probe reading.
+
+    Midway between the expected all-hit chase total and the total with
+    a ``miss_latency`` target, plus the timer's mean overhead — the
+    scalar :meth:`PointerChase.hit_miss_threshold` with the hierarchy
+    latencies passed explicitly (the batch engine has no
+    ``CacheHierarchy`` object, only its latency parameters).
+    """
+    hit_total = (chain_length + 1) * hit_latency
+    miss_total = chain_length * hit_latency + miss_latency
+    return (hit_total + miss_total) / 2.0 + spec.overhead_mean
+
+
+def decode_latency_matrix(
+    latencies: np.ndarray, threshold: float, hit_means_one: bool
+) -> np.ndarray:
+    """Decode a ``(trials, bits)`` observed-latency matrix to bits.
+
+    A reading below the threshold is a probe *hit*; Algorithm 1 decodes
+    a hit as 1 (``hit_means_one``) and Algorithm 2 decodes a hit as 0 —
+    the polarity flip between the shared-memory and no-shared-memory
+    channels (paper Sections IV-A/IV-B).
+    """
+    probe_hit = latencies < threshold
+    if not hit_means_one:
+        probe_hit = ~probe_hit
+    return probe_hit.astype(np.int8)
+
+
+def batch_error_rates(sent: np.ndarray, decoded: np.ndarray) -> np.ndarray:
+    """Per-trial bit-error rate between sent and decoded bit matrices.
+
+    The lockstep transfer has perfect bit alignment by construction
+    (one probe per bit, no resampling), so plain elementwise mismatch is
+    the exact error count — no edit-distance alignment needed.
+    """
+    if sent.shape != decoded.shape:
+        raise ValueError(
+            f"sent {sent.shape} and decoded {decoded.shape} shapes differ"
+        )
+    return (sent != decoded).mean(axis=1)

@@ -49,6 +49,7 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+import os
 import threading
 import time
 import warnings
@@ -77,6 +78,17 @@ CHECKPOINT_VERSION = 2
 #: ``trace-footer`` record carrying a checksum over every preceding
 #: byte.  Readers accept footer-less (PR 4) traces unchanged.
 TRACE_VERSION = 2
+
+
+def auto_jobs() -> int:
+    """Default batch worker count: one per CPU actually present.
+
+    ``run_many`` honours any explicit ``jobs`` value (tests rely on
+    oversubscribing a small host to exercise the supervisor), but the
+    CLI default goes through here so ``--jobs`` never silently
+    oversubscribes by default.
+    """
+    return os.cpu_count() or 1
 
 
 def _sha256_label(text: str) -> str:
@@ -591,9 +603,25 @@ class ExperimentRunner:
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        cpu_count = os.cpu_count() or 1
+        oversubscribed = jobs > cpu_count
+        if oversubscribed:
+            # Honoured anyway (tests deliberately oversubscribe tiny
+            # hosts to exercise the supervisor), but flagged: extra
+            # workers only time-slice the same cores.
+            warnings.warn(
+                f"jobs={jobs} exceeds os.cpu_count()={cpu_count}; "
+                f"extra workers will time-slice, not speed up the batch",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         report = RunReport()
         batch_session = ObsSession(trace_depth=0) if self.observe else None
         with _maybe_observe(batch_session):
+            if oversubscribed and batch_session is not None:
+                batch_session.metrics.counter(
+                    "runner.jobs.oversubscribed"
+                ).inc()
             completed = self._load_checkpoint()
             if self._legacy_checkpoint and completed:
                 # One-step migration: rewrite the legacy (unversioned)
@@ -621,6 +649,177 @@ class ExperimentRunner:
         if batch_session is not None:
             self.batch_metrics = batch_session.metrics.snapshot()
         return report
+
+    def run_trials(
+        self,
+        algorithm: str,
+        trials: int,
+        message_length: int = 64,
+        block_size: int = 256,
+        seed: int = 2020,
+        hierarchy=None,
+        on_result: Optional[Callable[[ExperimentResult, float], None]] = None,
+        on_failure: Optional[Callable[[ExperimentFailure], None]] = None,
+    ) -> RunReport:
+        """Run N independent channel trials through the batch engine.
+
+        Trials are executed in lockstep blocks of ``block_size`` by
+        :class:`~repro.sim.batch.BatchEngine`; each block becomes one
+        :class:`ExperimentResult` (one row per trial: bit errors and
+        error rate) flowing through the same checkpoint, callback,
+        capture, and trace plumbing as ``run_many``.  Per-trial RNG
+        streams are keyed by the *absolute* trial index, so block
+        boundaries never change any trial's result — which is what makes
+        the per-block checkpoint ids (``alg1@trials0-256``) safe to
+        restore under a different ``trials`` total.  A checkpoint is
+        only reusable for the same ``block_size``/``message_length``/
+        ``seed``; block ids do not encode those, so use a fresh
+        checkpoint file per configuration.
+
+        Args:
+            algorithm: ``"alg1"`` or ``"alg2"`` (see
+                :data:`~repro.sim.batch.BATCH_CHANNELS`).
+            trials: Total independent transfers to run.
+            message_length: Bits per trial.
+            block_size: Lockstep batch width per block (memory scales
+                with it; results do not depend on it).
+            seed: Master seed for the per-trial streams.
+            hierarchy: Optional cache shape override.
+            on_result / on_failure: Per-block callbacks, as in
+                ``run_many``.
+        """
+        from repro.sim.batch import BATCH_CHANNELS, BatchEngine
+
+        if algorithm not in BATCH_CHANNELS:
+            raise ValueError(
+                f"unknown batch algorithm {algorithm!r}; "
+                f"choose from {sorted(BATCH_CHANNELS)}"
+            )
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if message_length < 1:
+            raise ValueError(
+                f"message_length must be >= 1, got {message_length}"
+            )
+        engine = BatchEngine(
+            algorithm=algorithm, hierarchy=hierarchy, seed=seed
+        )
+        blocks = [
+            (lo, min(trials, lo + block_size))
+            for lo in range(0, trials, block_size)
+        ]
+        report = RunReport()
+        completed = self._load_checkpoint()
+        if self._legacy_checkpoint and completed:
+            self._checkpoint_dirty = True
+            self._save_checkpoint(completed)
+        for lo, hi in blocks:
+            block_id = f"{algorithm}@trials{lo}-{hi}"
+            restored = completed.get(block_id)
+            if restored is not None:
+                report.results.append(restored)
+                report.resumed.append(block_id)
+                if on_result is not None:
+                    on_result(restored, 0.0)
+                continue
+            start = time.monotonic()
+            try:
+                result = self._run_trial_block(
+                    engine, block_id, lo, hi, message_length, seed
+                )
+            except Exception as error:  # noqa: BLE001 - degraded, not fatal
+                failure = ExperimentFailure(
+                    experiment_id=block_id,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    attempts=1,
+                    elapsed_seconds=time.monotonic() - start,
+                )
+                report.failures.append(failure)
+                if on_failure is not None:
+                    on_failure(failure)
+                continue
+            report.results.append(result)
+            completed[block_id] = result
+            self._record_completion(block_id, result)
+            self._save_checkpoint(completed)
+            if on_result is not None:
+                on_result(result, time.monotonic() - start)
+        return report
+
+    def _run_trial_block(
+        self,
+        engine,
+        block_id: str,
+        lo: int,
+        hi: int,
+        message_length: int,
+        seed: int,
+    ) -> ExperimentResult:
+        """One lockstep block: transfer, per-trial rows, obs capture."""
+        session = (
+            ObsSession(trace_depth=self.trace_depth if self._tracing else 0)
+            if self.observe
+            else None
+        )
+        with _maybe_observe(session):
+            if session is not None:
+                with session.span(
+                    "trial-block", experiment_id=block_id, attempt=0
+                ):
+                    transfer = engine.run_transfer(
+                        hi - lo, message_length, trial_offset=lo
+                    )
+            else:
+                transfer = engine.run_transfer(
+                    hi - lo, message_length, trial_offset=lo
+                )
+        errors = (transfer.sent != transfer.decoded).sum(axis=1)
+        rates = transfer.error_rates()
+        notes = (
+            f"engine=batch seed={seed} "
+            f"threshold={transfer.threshold:.2f} cycles"
+        )
+        if transfer.fallback_steps:
+            notes += (
+                f"; open-table fallback served "
+                f"{transfer.fallback_steps} trial-steps"
+            )
+        result = ExperimentResult(
+            experiment_id=block_id,
+            title=(
+                f"batch {engine.algorithm} trials {lo}..{hi - 1} "
+                f"({message_length} bits/trial)"
+            ),
+            columns=["trial", "bit_errors", "error_rate"],
+            rows=[
+                [lo + index, int(errors[index]), float(rates[index])]
+                for index in range(hi - lo)
+            ],
+            notes=notes,
+        )
+        if session is not None:
+            from repro.sim.fastpath import default_engine
+
+            self.captures[block_id] = ObsCapture(
+                experiment_id=block_id,
+                manifest=RunManifest.with_provenance(
+                    experiment_id=block_id,
+                    seed=seed,
+                    attempts=1,
+                    machines=session.machines(),
+                    fault_models=session.fault_models(),
+                    engine=default_engine(),
+                    sanitize=self.sanitize,
+                ),
+                metrics=session.metrics.snapshot(),
+                events=(
+                    session.bus.records() if session.bus is not None else []
+                ),
+            )
+        return result
 
     def _run_sequential(
         self,

@@ -309,6 +309,39 @@ METRIC_CATALOG: Dict[str, MetricSpec] = dict(
             "late results are sealed out of the checkpoint.",
         ),
         _spec(
+            "runner.jobs.oversubscribed",
+            "counter",
+            "batches",
+            "repro.experiments.runner",
+            "run_many batches launched with an explicit jobs count above "
+            "os.cpu_count(); the value is honoured but flagged.",
+        ),
+        _spec(
+            "batch.trials",
+            "counter",
+            "trials",
+            "repro.sim.batch",
+            "Independent channel trials completed by the vectorized "
+            "batch engine.",
+        ),
+        _spec(
+            "batch.steps",
+            "counter",
+            "trial-steps",
+            "repro.sim.batch",
+            "Cache accesses executed by the batch engine, summed over "
+            "the trial axis (steps x trials).",
+        ),
+        _spec(
+            "batch.fallback.open_table",
+            "counter",
+            "trial-steps",
+            "repro.sim.batch",
+            "Batch-engine accesses served by the scalar per-trial "
+            "fallback because the policy's table is open (lazily "
+            "grown), e.g. true LRU at 16 ways.",
+        ),
+        _spec(
             "service.requests.admitted",
             "counter",
             "requests",

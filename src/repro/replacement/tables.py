@@ -57,6 +57,83 @@ TABLEABLE_POLICIES: Dict[str, Type[ReplacementPolicy]] = {
 EAGER_STATE_BUDGET = 4096
 
 
+class TableArrays:
+    """Dense numpy snapshot of a *closed* table set (batch-engine export).
+
+    The same data ``repro.analysis.reachability`` freezes into a
+    :class:`~repro.analysis.reachability.ClosedTransitionSystem` — flat
+    ``state * ways + way`` transition vectors plus per-state victim
+    way/state — as read-only ``int32`` ndarrays, so the batch engine can
+    advance thousands of trials with ``np.take``-style gathers instead
+    of per-trial list indexing.  Exists only for eagerly-closed tables:
+    an open (lazily-growing) table set has no dense form, and callers
+    fall back to per-trial scalar lookups (``batch.fallback.open_table``).
+
+    Attributes:
+        touch: ``state * ways + way -> state`` hit-path transitions.
+        fill: ``state * ways + way -> state`` fill-path transitions.
+        victim_way: ``state -> way`` chosen on a full-set miss.
+        victim_next: ``state -> state`` after the victim *search* (before
+            the fill transition; SRRIP ages RRPVs while searching).
+        evict_to: ``state -> state`` for a composed full-set miss
+            (victim search + fill into the chosen way).
+        initial: Interned power-on state.
+        prepared: State after filling ways ``0..ways-1`` from power-on.
+    """
+
+    __slots__ = (
+        "policy_name",
+        "ways",
+        "state_count",
+        "touch",
+        "fill",
+        "victim_way",
+        "victim_next",
+        "evict_to",
+        "initial",
+        "prepared",
+    )
+
+    def __init__(self, tables: "PolicyTables"):
+        import numpy as np  # deferred: keeps the lint/analysis import chain numpy-free
+
+        ways = tables.ways
+        n = tables.state_count
+        self.policy_name = tables.policy_name
+        self.ways = ways
+        self.state_count = n
+        self.touch = np.fromiter(tables._touch, dtype=np.int32, count=n * ways)
+        self.fill = np.fromiter(tables._fill, dtype=np.int32, count=n * ways)
+        self.victim_way = np.fromiter(
+            (way for way, _ in tables._victim), dtype=np.int32, count=n
+        )
+        self.victim_next = np.fromiter(
+            (nxt for _, nxt in tables._victim), dtype=np.int32, count=n
+        )
+        self.evict_to = self.fill[
+            self.victim_next.astype(np.int64) * ways + self.victim_way
+        ]
+        self.initial = tables.initial
+        prepared = tables.initial
+        for way in range(ways):
+            prepared = tables.fill_to(prepared, way)
+        self.prepared = prepared
+        for array in (
+            self.touch,
+            self.fill,
+            self.victim_way,
+            self.victim_next,
+            self.evict_to,
+        ):
+            array.setflags(write=False)  # shared through the memo
+
+    def __repr__(self) -> str:
+        return (
+            f"TableArrays({self.policy_name!r}, ways={self.ways}, "
+            f"states={self.state_count})"
+        )
+
+
 def estimated_state_count(
     policy_name: str, ways: int, **kwargs: Any
 ) -> Optional[int]:
@@ -131,6 +208,7 @@ class PolicyTables:
         estimate = estimated_state_count(policy_name, ways, **kwargs)
         self.eager = estimate is not None and estimate <= eager_budget
         self._closed = False
+        self._arrays: Optional[TableArrays] = None
         if self.eager:
             self._compile_closure()
             self._closed = True
@@ -233,6 +311,30 @@ class PolicyTables:
         """
         return self._closed
 
+    def as_arrays(self) -> TableArrays:
+        """Dense numpy snapshot of a closed table set (memoised).
+
+        Repeated calls return the *same* :class:`TableArrays` object, so
+        every batch-engine instance built over one memoised table set
+        shares one copy of the transition arrays.
+        :func:`clear_table_cache` drops the memo along with the tables.
+
+        Raises:
+            ConfigurationError: When the tables are open (grown lazily);
+                an open state space has no dense form.  Batch callers
+                catch this and take the per-trial scalar fallback.
+        """
+        if not self._closed:
+            raise ConfigurationError(
+                f"tables for {self.policy_name!r} at {self.ways} ways are "
+                f"open (lazily grown) and have no dense array export; "
+                f"raise eager_budget to close the space, or use the "
+                f"batch engine's per-trial fallback"
+            )
+        if self._arrays is None:
+            self._arrays = TableArrays(self)
+        return self._arrays
+
     def transition_count(self) -> int:
         """Number of materialised (state, way) transition entries."""
         return sum(
@@ -317,7 +419,14 @@ def compile_tables(
 
 
 def clear_table_cache() -> None:
-    """Drop memoised tables (test isolation / memory pressure)."""
+    """Drop memoised tables (test isolation / memory pressure).
+
+    Also drops each cached table set's dense :class:`TableArrays`
+    snapshot, so callers holding a ``PolicyTables`` reference across a
+    clear rebuild their arrays instead of resurrecting dropped ones.
+    """
+    for tables in _TABLE_CACHE.values():
+        tables._arrays = None
     _TABLE_CACHE.clear()
 
 

@@ -106,8 +106,15 @@ class ServiceClient:
         deadline_ms: Optional[float] = None,
         request_id: str = "",
         refresh: bool = False,
+        trials: int = 0,
     ) -> Dict:
-        """Run (or fetch from cache) one experiment."""
+        """Run (or fetch from cache) one experiment.
+
+        With ``trials > 0``, ``experiment_id`` names a channel algorithm
+        (``alg1``/``alg2``) and the server runs that many independent
+        transfers through the vectorized batch engine, answering with an
+        aggregate error-rate summary.
+        """
         payload: Dict = {"op": "run", "experiment_id": experiment_id}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
@@ -115,6 +122,8 @@ class ServiceClient:
             payload["request_id"] = request_id
         if refresh:
             payload["refresh"] = True
+        if trials:
+            payload["trials"] = trials
         return self.roundtrip(payload)
 
     def analyze(

@@ -18,6 +18,15 @@ whole request — queueing, attempts, retries — must fit into;
 ``refresh`` bypasses the cache *read* (the result is still written
 back).
 
+A ``run`` request with ``trials > 0`` is a multi-trial batch request:
+``experiment_id`` names a channel algorithm (``alg1``/``alg2``) and the
+server runs that many independent transfers through the vectorized
+batch engine (``repro.sim.batch``), answering with an aggregate
+error-rate summary::
+
+    {"op": "run", "experiment_id": "alg1", "trials": 1000,
+     "request_id": "b-1"}
+
 An ``analyze`` request names a policy shape instead of an experiment::
 
     {"op": "analyze", "policy": "lru", "ways": 4, "defense": "none",
@@ -72,6 +81,10 @@ ANALYZE_DEFENSES = ("none", "no-hit-update")
 #: a request beyond it is malformed, not refused).
 MAX_ANALYZE_WAYS = 64
 
+#: Bound on one ``run`` request's batch-trial count — one request is one
+#: lockstep block, so this caps the server-side array allocation.
+MAX_TRIALS = 100_000
+
 #: Response statuses a client may see (documented above).
 STATUSES = ("ok", "rejected", "shed", "draining", "error", "pong", "stats")
 
@@ -88,6 +101,7 @@ class Request:
     policy: str = ""
     ways: int = 0
     defense: str = "none"
+    trials: int = 0
 
 
 def parse_request(line: bytes) -> Request:
@@ -134,6 +148,13 @@ def parse_request(line: bytes) -> Request:
     refresh = data.get("refresh", False)
     if not isinstance(refresh, bool):
         raise ServiceError("refresh must be a boolean")
+    trials = data.get("trials", 0)
+    if isinstance(trials, bool) or not isinstance(trials, int):
+        raise ServiceError(f"trials must be an integer, got {trials!r}")
+    if trials < 0 or trials > MAX_TRIALS:
+        raise ServiceError(
+            f"trials must be in [0, {MAX_TRIALS}], got {trials}"
+        )
     policy = data.get("policy", "")
     ways = data.get("ways", 0)
     defense = data.get("defense", "none")
@@ -160,6 +181,7 @@ def parse_request(line: bytes) -> Request:
         policy=policy if isinstance(policy, str) else "",
         ways=ways if isinstance(ways, int) else 0,
         defense=defense if isinstance(defense, str) else "none",
+        trials=trials,
     )
 
 

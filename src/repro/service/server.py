@@ -192,6 +192,56 @@ class TokenBucket:
 # ----------------------------------------------------------------------
 
 
+def _execute_trials(algorithm: str, trials: int) -> Dict:
+    """One multi-trial batch request, executed inline.
+
+    The lockstep batch engine (:mod:`repro.sim.batch`) is deterministic
+    and fast enough that crash isolation buys nothing here, so both
+    backends share this path.  The payload is an aggregate summary —
+    one row, not one per trial — so a 100k-trial answer still fits the
+    wire's line bound.
+    """
+    from repro.experiments.base import ExperimentResult
+    from repro.sim.batch import run_batch_transfer
+
+    try:
+        transfer = run_batch_transfer(algorithm=algorithm, trials=trials)
+        rates = transfer.error_rates()
+        result = ExperimentResult(
+            experiment_id=f"{algorithm}@trials{trials}",
+            title=(
+                f"batch {algorithm}: {trials} lockstep trials "
+                f"({transfer.message_length} bits/trial)"
+            ),
+            columns=[
+                "trials",
+                "mean_error_rate",
+                "min_error_rate",
+                "max_error_rate",
+            ],
+            rows=[
+                [
+                    trials,
+                    float(rates.mean()),
+                    float(rates.min()),
+                    float(rates.max()),
+                ]
+            ],
+            notes=(
+                f"engine=batch threshold={transfer.threshold:.2f} cycles"
+            ),
+        )
+    except Exception as error:  # noqa: BLE001 - becomes degraded response
+        return {
+            "ok": False,
+            "error": {
+                "type": type(error).__name__,
+                "message": str(error),
+            },
+        }
+    return {"ok": True, "result": result.to_dict()}
+
+
 class InlineBackend:
     """Execute requests with an in-process :class:`ExperimentRunner`."""
 
@@ -208,8 +258,13 @@ class InlineBackend:
         )
 
     def execute(
-        self, experiment_id: str, deadline: Optional[Deadline]
+        self,
+        experiment_id: str,
+        deadline: Optional[Deadline],
+        trials: int = 0,
     ) -> Dict:
+        if trials:
+            return _execute_trials(experiment_id, trials)
         try:
             result = self.runner.run_one(experiment_id, deadline=deadline)
         except Exception as error:  # noqa: BLE001 - becomes degraded response
@@ -252,10 +307,20 @@ class SupervisedBackend:
         self._executor = None
 
     def execute(
-        self, experiment_id: str, deadline: Optional[Deadline]
+        self,
+        experiment_id: str,
+        deadline: Optional[Deadline],
+        trials: int = 0,
     ) -> Dict:
         from repro.experiments.runner import ExperimentRunner, _pool_worker
         from repro.experiments.supervisor import SupervisedExecutor
+
+        if trials:
+            # Batch-trial requests run inline even under the supervised
+            # backend: the vectorized engine holds no machine state a
+            # crash could corrupt, and a worker round-trip would cost
+            # more than the transfer itself.
+            return _execute_trials(experiment_id, trials)
 
         config = self.config
         timeout = config.timeout_seconds
@@ -392,6 +457,7 @@ class _Pool:
                     self.backend.execute,
                     job.request.experiment_id,
                     job.deadline,
+                    job.request.trials,
                 )
             except asyncio.CancelledError:
                 # Hard drain: the execution thread may still be running,
@@ -624,7 +690,16 @@ class ExperimentService:
         start = time.monotonic()
         if self.draining:
             return self._base(request, "draining")
-        if request.experiment_id not in self.registry:
+        if request.trials:
+            from repro.sim.batch import BATCH_CHANNELS
+
+            if request.experiment_id not in BATCH_CHANNELS:
+                return error_response(
+                    f"unknown batch algorithm {request.experiment_id!r}; "
+                    f"choose from {sorted(BATCH_CHANNELS)}",
+                    request.request_id,
+                )
+        elif request.experiment_id not in self.registry:
             return error_response(
                 f"unknown experiment {request.experiment_id!r}",
                 request.request_id,
@@ -637,7 +712,7 @@ class ExperimentService:
             )
             return response
         self.metrics.counter("service.requests.admitted").inc()
-        key = self._key_for(request.experiment_id)
+        key = self._key_for(request.experiment_id, request.trials)
         deadline = deadline_from_ms(request.deadline_ms)
         if not request.refresh:
             payload = self.cache.get_payload(key)
@@ -939,10 +1014,23 @@ class ExperimentService:
 
     # -- plumbing -------------------------------------------------------
 
-    def _key_for(self, experiment_id: str) -> str:
+    def _key_for(self, experiment_id: str, trials: int = 0) -> str:
         from repro.experiments.runner import ExperimentRunner
         from repro.sim.fastpath import default_engine
 
+        if trials:
+            # Batch-trial requests: the trial count is part of the
+            # result bits, and the engine/seed are fixed by the batch
+            # path (deterministic counter-based streams from the
+            # engine's default master seed).
+            return request_key(
+                key_fields(
+                    experiment_id=f"{experiment_id}@trials{trials}",
+                    seed=None,
+                    engine="batch",
+                    sanitize=self.config.sanitize,
+                )
+            )
         parameter = ExperimentRunner._rng_parameter(
             self.registry[experiment_id]
         )

@@ -21,11 +21,18 @@ so the tag-map speedup applies regardless.
 
 Engine selection: :class:`~repro.sim.machine.Machine`,
 :class:`~repro.cache.hierarchy.CacheHierarchy` and the CLI accept
-``engine="fast" | "reference"``; the process-wide default lives in the
-``REPRO_ENGINE`` environment variable so it propagates to
+``engine="fast" | "reference" | "batch"``; the process-wide default
+lives in the ``REPRO_ENGINE`` environment variable so it propagates to
 ``multiprocessing`` workers under both fork and spawn start methods.
 The reference engine stays the oracle: ``tests/test_perf`` drives both
 engines over identical traces and requires bit-identical behaviour.
+
+The ``batch`` engine (:mod:`repro.sim.batch`) is a superset of the fast
+engine: scalar machines built under it use the fast cache classes
+unchanged, and multi-trial entry points
+(:meth:`~repro.experiments.runner.ExperimentRunner.run_trials`, the
+CLI's ``run --trials N``, the service's multi-trial ``run`` op)
+additionally vectorize the per-trial axis over numpy arrays.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ from repro.common.types import AccessType, MemoryAccess
 from repro.replacement.tables import TABLEABLE_POLICIES, TabledPolicy
 
 #: Recognised engine names.
-ENGINES = ("reference", "fast")
+ENGINES = ("reference", "fast", "batch")
 
 #: Environment variable holding the process-wide default engine.
 ENGINE_ENV = "REPRO_ENGINE"

@@ -36,6 +36,54 @@ def observed_chase_latency(
     return tsc.measure(exposed, serialized=True)
 
 
+def batch_observed_latency(
+    probe_hit,
+    hit_latency: float,
+    miss_latency: float,
+    spec,
+    noise_keys,
+    draw_index: int,
+    chain_length: int = 7,
+):
+    """Vectorized pointer-chase probe measurement for a batch of trials.
+
+    One trial's reading is exactly what the scalar path produces for a
+    primed chain: ``chain_length`` L1 hits plus the probe (L1 hit or
+    ``miss_latency``), run through :func:`observed_chase_latency` and
+    :meth:`TimestampCounter.measure` — shadow subtraction, Gaussian
+    timer overhead, floor quantization, clamp at zero.  The overhead
+    draw comes from the trial's counter-based noise stream
+    (:func:`repro.common.rng.stream_gauss`) at position ``draw_index``,
+    so the value is a pure function of (trial key, draw index) and the
+    batch and solo paths read identical noise.
+
+    Args:
+        probe_hit: Boolean ndarray, one entry per trial.
+        hit_latency / miss_latency: Serving latencies for the probe's
+            two outcomes (L1 hit vs. next-level hit).
+        spec: :class:`~repro.timing.tsc.TSCSpec` noise parameters.
+        noise_keys: Per-trial stream keys (``uint64`` ndarray).
+        draw_index: Stream position; advance it once per probe.
+        chain_length: Pointer-chase chain length (7 fully exposes the
+            latency sum; shorter chains re-enter the timer shadow).
+    """
+    import numpy as np  # deferred: scalar callers never pay the import
+
+    from repro.common.rng import stream_gauss
+
+    total = chain_length * hit_latency + np.where(
+        probe_hit, hit_latency, miss_latency
+    )
+    shadow_fraction = max(0.0, 1.0 - chain_length / 7.0)
+    exposed = np.maximum(0.0, total - shadow_fraction * spec.serialization_shadow)
+    overhead = stream_gauss(
+        noise_keys, draw_index, spec.overhead_mean, spec.overhead_jitter
+    )
+    granularity = spec.granularity
+    reading = np.floor((exposed + overhead) / granularity) * granularity
+    return np.maximum(0.0, reading)
+
+
 def rdtscp_measure(
     hierarchy: CacheHierarchy,
     tsc: TimestampCounter,

@@ -42,3 +42,84 @@ class TestSpawnRng:
         before = parent.getstate()
         spawn_rng(parent, "x")
         assert parent.getstate() != before
+
+
+class TestTrialStreams:
+    def _streams(self):
+        from repro.common.rng import trial_streams
+
+        return trial_streams
+
+    def test_deterministic(self):
+        import numpy as np
+
+        trial_streams = self._streams()
+        np.testing.assert_array_equal(
+            trial_streams(7, 5), trial_streams(7, 5)
+        )
+
+    def test_offset_selects_a_window_of_the_same_sequence(self):
+        import numpy as np
+
+        trial_streams = self._streams()
+        np.testing.assert_array_equal(
+            trial_streams(7, 5, offset=2), trial_streams(7, 7)[2:]
+        )
+
+    def test_seed_changes_every_key(self):
+        trial_streams = self._streams()
+        assert not (trial_streams(1, 8) == trial_streams(2, 8)).any()
+
+    def test_negative_arguments_rejected(self):
+        import pytest
+
+        trial_streams = self._streams()
+        with pytest.raises(ValueError):
+            trial_streams(7, -1)
+        with pytest.raises(ValueError):
+            trial_streams(7, 1, offset=-1)
+
+
+class TestStreamDraws:
+    def _keys(self, trials=4):
+        from repro.common.rng import trial_streams
+
+        return trial_streams(2020, trials)
+
+    def test_spawn_streams_label_salts_the_keys(self):
+        from repro.common.rng import spawn_streams
+
+        keys = self._keys()
+        assert not (
+            spawn_streams(keys, "message") == spawn_streams(keys, "noise")
+        ).any()
+
+    def test_stream_bits_matches_per_counter_u64_parity(self):
+        import numpy as np
+
+        from repro.common.rng import stream_bits, stream_u64
+
+        keys = self._keys()
+        bits = stream_bits(keys, 6)
+        assert bits.shape == (4, 6)
+        for position in range(6):
+            np.testing.assert_array_equal(
+                bits[:, position].astype(np.uint64),
+                stream_u64(keys, position) & np.uint64(1),
+            )
+
+    def test_stream_gauss_counters_do_not_overlap(self):
+        from repro.common.rng import stream_gauss
+
+        keys = self._keys()
+        a = stream_gauss(keys, 0, 0.0, 1.0)
+        b = stream_gauss(keys, 1, 0.0, 1.0)
+        assert not (a == b).any()
+
+    def test_stream_gauss_moments(self):
+        from repro.common.rng import stream_gauss, trial_streams
+
+        keys = trial_streams(11, 20000)
+        draws = stream_gauss(keys, 3, 10.0, 2.0)
+        assert abs(float(draws.mean()) - 10.0) < 0.1
+        assert abs(float(draws.std()) - 2.0) < 0.1

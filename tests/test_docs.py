@@ -198,6 +198,7 @@ class TestCliFlagDrift:
         "--benchmark-json",
         "--baseline",
         "--min-speedup",
+        "--min-batch-speedup",
         "--tolerance",
         "--max-exec-overhead",
         "--min-hit-rate",

@@ -156,6 +156,26 @@ class TestParallelRunMany:
         with pytest.raises(ValueError):
             runner.run_many(IDS, jobs=0)
 
+    def test_oversubscribed_jobs_warn_but_still_run(self):
+        import os
+
+        runner = ExperimentRunner(
+            retries=0, registry=make_registry(), observe=True
+        )
+        too_many = (os.cpu_count() or 1) + 63
+        with pytest.warns(RuntimeWarning, match="exceeds os.cpu_count"):
+            report = runner.run_many(IDS, jobs=too_many)
+        assert report.ok
+        counters = runner.batch_metrics["counters"]
+        assert counters["runner.jobs.oversubscribed"] == 1
+
+    def test_default_jobs_match_the_host(self):
+        import os
+
+        from repro.experiments.runner import auto_jobs
+
+        assert auto_jobs() == (os.cpu_count() or 1)
+
     def test_single_pending_experiment_stays_in_process(self):
         # jobs > 1 with one pending id takes the sequential path — no
         # pool overhead, and in-process registries with lambdas work.

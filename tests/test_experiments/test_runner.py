@@ -327,3 +327,81 @@ class TestRunOneDeadline:
         )
         result = runner.run_one("ok", deadline=Deadline.after(60.0))
         assert result.experiment_id == "ok"
+
+
+class TestRunTrials:
+    def test_rejects_bad_arguments(self):
+        runner = ExperimentRunner()
+        with pytest.raises(ValueError, match="unknown batch algorithm"):
+            runner.run_trials("alg9", trials=4)
+        with pytest.raises(ValueError, match="trials"):
+            runner.run_trials("alg1", trials=0)
+        with pytest.raises(ValueError, match="block_size"):
+            runner.run_trials("alg1", trials=4, block_size=0)
+        with pytest.raises(ValueError, match="message_length"):
+            runner.run_trials("alg1", trials=4, message_length=0)
+
+    def test_blocks_cover_the_trial_range_exactly_once(self):
+        results = []
+        runner = ExperimentRunner()
+        report = runner.run_trials(
+            "alg1",
+            trials=11,
+            message_length=4,
+            block_size=4,
+            on_result=lambda r, _t: results.append(r),
+        )
+        assert report.ok
+        assert [r.experiment_id for r in results] == [
+            "alg1@trials0-4",
+            "alg1@trials4-8",
+            "alg1@trials8-11",
+        ]
+        trial_ids = [row[0] for r in results for row in r.rows]
+        assert trial_ids == list(range(11))
+
+    def test_rows_do_not_depend_on_block_size(self):
+        def rows(block_size):
+            collected = []
+            ExperimentRunner().run_trials(
+                "alg2",
+                trials=10,
+                message_length=4,
+                block_size=block_size,
+                on_result=lambda r, _t: collected.extend(r.rows),
+            )
+            return collected
+
+        assert rows(3) == rows(10)
+
+    def test_checkpoint_resume_restores_completed_blocks(self, tmp_path):
+        checkpoint = tmp_path / "trials.json"
+        first = ExperimentRunner(checkpoint_path=checkpoint)
+        first.run_trials("alg1", trials=8, message_length=4, block_size=4)
+
+        restored = []
+        second = ExperimentRunner(checkpoint_path=checkpoint)
+        report = second.run_trials(
+            "alg1",
+            trials=8,
+            message_length=4,
+            block_size=4,
+            on_result=lambda r, _t: restored.append(r),
+        )
+        assert report.ok
+        assert sorted(report.resumed) == [
+            "alg1@trials0-4",
+            "alg1@trials4-8",
+        ]
+        assert [r.experiment_id for r in restored] == [
+            "alg1@trials0-4",
+            "alg1@trials4-8",
+        ]
+
+    def test_observed_run_captures_batch_counters(self):
+        runner = ExperimentRunner(observe=True)
+        runner.run_trials("alg1", trials=6, message_length=4, block_size=6)
+        assert list(runner.captures) == ["alg1@trials0-6"]
+        counters = runner.captures["alg1@trials0-6"].metrics["counters"]
+        assert counters["batch.trials"] == 6
+        assert counters["batch.steps"] > 0

@@ -362,3 +362,263 @@ class TestEngineSelection:
         assert isinstance(fast.l1, FastSetAssociativeCache)
         assert ref.engine == "reference"
         assert not isinstance(ref.l1, FastSetAssociativeCache)
+
+    def test_batch_engine_is_resolvable(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert resolve_engine("batch") == "batch"
+        set_default_engine("batch")
+        assert default_engine() == "batch"
+        set_default_engine(None)
+
+    def test_batch_hierarchy_uses_fast_scalar_caches(self):
+        from repro.cache.config import HierarchyConfig
+        from repro.cache.hierarchy import CacheHierarchy
+
+        batch = CacheHierarchy(HierarchyConfig(), rng=1, engine="batch")
+        assert batch.engine == "batch"
+        assert isinstance(batch.l1, FastSetAssociativeCache)
+
+
+# ----------------------------------------------------------------------
+# The batch engine: dense table arrays and lockstep transfers
+# ----------------------------------------------------------------------
+
+
+class TestTableArrays:
+    """The dense ``as_arrays`` export: memoization and fidelity."""
+
+    def test_as_arrays_is_memoised(self):
+        clear_table_cache()
+        try:
+            tables = compile_tables("fifo", 4)
+            arrays = tables.as_arrays()
+            assert tables.as_arrays() is arrays
+        finally:
+            clear_table_cache()
+
+    def test_clear_table_cache_drops_arrays(self):
+        clear_table_cache()
+        tables = compile_tables("tree-plru", 4)
+        arrays = tables.as_arrays()
+        clear_table_cache()
+        assert tables._arrays is None
+        fresh = compile_tables("tree-plru", 4)
+        assert fresh is not tables
+        assert fresh.as_arrays() is not arrays
+
+    def test_open_tables_refuse_dense_export(self):
+        # True LRU at 16 ways has 16! states: never eagerly closed.
+        tables = compile_tables("lru", 16)
+        with pytest.raises(ConfigurationError):
+            tables.as_arrays()
+
+    def test_arrays_are_read_only(self):
+        arrays = compile_tables("fifo", 4).as_arrays()
+        with pytest.raises(ValueError):
+            arrays.touch[0] = 1
+
+    def test_arrays_mirror_scalar_tables(self):
+        tables = compile_tables("tree-plru", 4)
+        arrays = tables.as_arrays()
+        assert arrays.initial == tables.initial
+        for state in range(arrays.state_count):
+            for way in range(4):
+                index = state * 4 + way
+                assert arrays.touch[index] == tables.touch_to(state, way)
+                assert arrays.fill[index] == tables.fill_to(state, way)
+            victim, after = tables.victim_of(state)
+            assert arrays.victim_way[state] == victim
+            assert arrays.victim_next[state] == after
+            # evict_to is the full-miss composition, one entry per state:
+            # victim search then fill into the victim way.
+            assert arrays.evict_to[state] == tables.fill_to(after, victim)
+
+
+def batch_hierarchy(policy, ways, sets=8):
+    """A small two-level hierarchy whose L1 runs the given policy."""
+    from repro.cache.config import HierarchyConfig
+
+    l1 = CacheConfig(
+        name="L1D",
+        size=sets * ways * 64,
+        ways=ways,
+        line_size=64,
+        policy=policy,
+    )
+    return HierarchyConfig(l1=l1)
+
+
+def scalar_trial(
+    algorithm, hierarchy, trial_index, message_length, sanitized=False
+):
+    """Fast-engine scalar oracle for one absolute trial index.
+
+    Drives a :class:`FastSetAssociativeCache` through the exact per-bit
+    schedule the batch engine executes — init, bit-conditional sender,
+    decode, timed probe — drawing message bits and timer noise from the
+    same counter-based streams, so its hits and observed latencies must
+    equal the batch engine's row for this trial bit-for-bit.
+    """
+    import numpy as np
+
+    from repro.common.rng import spawn_streams, stream_bits, trial_streams
+    from repro.sim.batch import BATCH_CHANNELS, CHAIN_LENGTH, default_d
+    from repro.timing.measurement import batch_observed_latency
+    from repro.timing.tsc import INTEL_TSC
+
+    l1 = hierarchy.l1
+    keys = trial_streams(2020, 1, offset=trial_index)
+    noise_keys = spawn_streams(keys, "tsc")
+    sent = stream_bits(spawn_streams(keys, "message"), message_length)[0]
+    channel = BATCH_CHANNELS[algorithm].build(
+        l1, target_set=1, d=default_d(algorithm, l1.ways)
+    )
+    cache = FastSetAssociativeCache(l1, rng=1)
+    if sanitized:
+        sanitize_cache(cache)
+
+    def access(address):
+        probe = MemoryAccess(address=address)
+        result = cache.lookup(probe, count=False)
+        if not result.hit:
+            cache.fill(probe)
+        return result.hit
+
+    hits, latencies = [], []
+    for position in range(message_length):
+        for address in channel.init_addresses():
+            access(address)
+        for address in channel.sender_addresses(int(sent[position])):
+            access(address)
+        for address in channel.decode_addresses():
+            access(address)
+        hit = access(channel.probe_address)
+        hits.append(bool(hit))
+        latencies.append(
+            float(
+                batch_observed_latency(
+                    np.array([hit]),
+                    l1.hit_latency,
+                    hierarchy.l2.hit_latency,
+                    INTEL_TSC,
+                    noise_keys,
+                    position,
+                    CHAIN_LENGTH,
+                )[0]
+            )
+        )
+    return [int(b) for b in sent], hits, latencies
+
+
+@pytest.mark.parametrize("ways", WAYS)
+@pytest.mark.parametrize("policy", POLICIES)
+class TestBatchEngineEquivalence:
+    """Batch engine vs the fast scalar oracle, per trial and per bit.
+
+    Covers every tableable policy at 4/8/16 ways — including true LRU
+    at 16 ways, whose open (lazily grown) tables exercise the scalar
+    per-trial fallback path — and batch widths 1/7/256.
+    """
+
+    BITS = 12
+
+    def test_batch_rows_match_scalar_oracle(self, policy, ways):
+        from repro.sim.batch import BatchEngine
+
+        hierarchy = batch_hierarchy(policy, ways)
+        for algorithm in ("alg1", "alg2"):
+            engine = BatchEngine(algorithm, hierarchy=hierarchy)
+            result = engine.run_transfer(7, message_length=self.BITS)
+            for trial in (0, 3, 6):
+                sent, hits, latencies = scalar_trial(
+                    algorithm, hierarchy, trial, self.BITS
+                )
+                assert list(result.sent[trial]) == sent
+                assert list(result.probe_hits[trial]) == hits
+                assert [float(x) for x in result.latencies[trial]] == latencies
+
+    def test_trial_rows_independent_of_batch_width(self, policy, ways):
+        import numpy as np
+
+        from repro.sim.batch import BatchEngine
+
+        hierarchy = batch_hierarchy(policy, ways)
+        engine = BatchEngine("alg1", hierarchy=hierarchy)
+        wide = engine.run_transfer(256, message_length=4)
+        narrow = engine.run_transfer(7, message_length=4)
+        solo = engine.run_transfer(1, message_length=4, trial_offset=200)
+        np.testing.assert_array_equal(narrow.sent, wide.sent[:7])
+        np.testing.assert_array_equal(narrow.decoded, wide.decoded[:7])
+        np.testing.assert_array_equal(narrow.latencies, wide.latencies[:7])
+        np.testing.assert_array_equal(solo.sent[0], wide.sent[200])
+        np.testing.assert_array_equal(solo.decoded[0], wide.decoded[200])
+        np.testing.assert_array_equal(solo.latencies[0], wide.latencies[200])
+
+
+class TestBatchEngineDetails:
+    """Fallback accounting, sanitizer spot-check, validation errors."""
+
+    def test_open_table_fallback_is_counted_and_identical(self):
+        from repro.sim.batch import BatchCache, BatchEngine
+
+        hierarchy = batch_hierarchy("lru", 16)
+        cache = BatchCache(hierarchy.l1, trials=2)
+        assert cache.arrays is None  # 16! states: no dense export
+        engine = BatchEngine("alg2", hierarchy=hierarchy)
+        result = engine.run_transfer(3, message_length=6)
+        assert result.fallback_steps > 0
+        sent, hits, latencies = scalar_trial("alg2", hierarchy, 1, 6)
+        assert list(result.sent[1]) == sent
+        assert list(result.probe_hits[1]) == hits
+
+    def test_dense_path_never_falls_back(self):
+        from repro.sim.batch import BatchEngine
+
+        engine = BatchEngine("alg1", hierarchy=batch_hierarchy("tree-plru", 8))
+        result = engine.run_transfer(16, message_length=8)
+        assert result.fallback_steps == 0
+        # steps aggregates over the trial axis: lockstep steps * trials.
+        assert result.steps > 0
+        assert result.steps % 16 == 0
+
+    def test_sanitized_scalar_oracle_matches_batch_trial_zero(self):
+        from repro.sim.batch import BatchEngine
+
+        hierarchy = batch_hierarchy("tree-plru", 8)
+        engine = BatchEngine("alg1", hierarchy=hierarchy)
+        result = engine.run_transfer(4, message_length=10)
+        sent, hits, latencies = scalar_trial(
+            "alg1", hierarchy, 0, 10, sanitized=True
+        )
+        assert list(result.sent[0]) == sent
+        assert list(result.probe_hits[0]) == hits
+        assert [float(x) for x in result.latencies[0]] == latencies
+
+    def test_decoded_bits_follow_threshold(self):
+        import numpy as np
+
+        from repro.sim.batch import BatchEngine
+
+        engine = BatchEngine("alg1", hierarchy=batch_hierarchy("lru", 8))
+        result = engine.run_transfer(32, message_length=16)
+        # Channel decodes well at these shapes: overwhelming agreement.
+        assert result.mean_error_rate() < 0.1
+        rates = result.error_rates()
+        assert rates.shape == (32,)
+        assert np.all((rates >= 0.0) & (rates <= 1.0))
+
+    def test_batch_cache_validation(self):
+        from repro.sim.batch import BatchCache, BatchEngine
+
+        with pytest.raises(ConfigurationError):
+            BatchCache(batch_hierarchy("lru", 4).l1, trials=0)
+        with pytest.raises(ConfigurationError):
+            BatchCache(
+                CacheConfig(
+                    name="L1D", size=2048, ways=4, line_size=64,
+                    policy="random",
+                ),
+                trials=2,
+            )
+        with pytest.raises(ConfigurationError):
+            BatchEngine("alg9")

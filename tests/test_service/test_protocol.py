@@ -7,6 +7,7 @@ import pytest
 from repro.common.errors import ServiceError
 from repro.service.protocol import (
     MAX_LINE_BYTES,
+    MAX_TRIALS,
     PROTOCOL_VERSION,
     Request,
     encode_line,
@@ -97,3 +98,24 @@ class TestEncodeLine:
         assert response["request_id"] == "r-9"
         assert response["error"]["type"] == "ServiceError"
         assert response["error"]["message"] == "boom"
+
+
+class TestTrialsField:
+    def test_default_is_zero(self):
+        request = parse_request(_line({"op": "run", "experiment_id": "x"}))
+        assert request.trials == 0
+
+    def test_batch_run_request(self):
+        request = parse_request(
+            _line({"op": "run", "experiment_id": "alg1", "trials": 5000})
+        )
+        assert request.trials == 5000
+
+    @pytest.mark.parametrize(
+        "trials",
+        [-1, True, "many", 1.5, MAX_TRIALS + 1],
+    )
+    def test_invalid_trials_rejected(self, trials):
+        payload = {"op": "run", "experiment_id": "alg1", "trials": trials}
+        with pytest.raises(ServiceError):
+            parse_request(_line(payload))

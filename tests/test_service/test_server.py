@@ -318,3 +318,49 @@ class TestDrain:
         assert len(responses) == 1
         assert responses[0]["status"] == "ok"
         assert not responses[0]["degraded"]
+
+
+class TestBatchTrials:
+    def test_trials_request_answers_with_an_aggregate(
+        self, harness_factory
+    ):
+        harness = harness_factory(registry=dict(fakes.FAST_REGISTRY))
+        with harness.client() as client:
+            response = client.request("alg1", trials=50)
+        assert response["status"] == "ok"
+        assert response["source"] == "pool"
+        result = response["result"]
+        assert result["experiment_id"] == "alg1@trials50"
+        assert result["columns"] == [
+            "trials",
+            "mean_error_rate",
+            "min_error_rate",
+            "max_error_rate",
+        ]
+        (row,) = result["rows"]
+        assert row[0] == 50
+        assert 0.0 <= row[1] <= 1.0
+
+    def test_trials_result_is_cached(self, harness_factory):
+        harness = harness_factory(registry=dict(fakes.FAST_REGISTRY))
+        with harness.client() as client:
+            first = client.request("alg1", trials=50)
+            second = client.request("alg1", trials=50)
+        assert first["source"] == "pool"
+        assert second["source"] == "cache"
+        assert canonical(first["result"]) == canonical(second["result"])
+
+    def test_trials_cache_key_is_distinct_per_count(self, harness_factory):
+        harness = harness_factory(registry=dict(fakes.FAST_REGISTRY))
+        with harness.client() as client:
+            a = client.request("alg1", trials=50)
+            b = client.request("alg1", trials=60)
+        assert a["cache_key"] != b["cache_key"]
+        assert b["source"] == "pool"
+
+    def test_unknown_batch_algorithm_is_an_error(self, harness_factory):
+        harness = harness_factory(registry=dict(fakes.FAST_REGISTRY))
+        with harness.client() as client:
+            response = client.request("alpha", trials=10)
+        assert response["status"] == "error"
+        assert "unknown batch algorithm" in response["error"]["message"]
